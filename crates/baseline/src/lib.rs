@@ -1,0 +1,57 @@
+//! # ph-baseline
+//!
+//! The baseline parser compilers ParserHawk is evaluated against (§7):
+//!
+//! * [`commercial`] — reconstructions of the vendor compilers for the Tofino
+//!   switch and the Intel IPU.  They translate the spec FSM one-to-one into
+//!   TCAM states and apply *basic, order-sensitive heuristics* (greedy
+//!   adjacent-entry merging).  Their documented blind spots are faithfully
+//!   reproduced: no R4-style transition-key splitting (wide keys are
+//!   rejected), no unreachable/redundant entry elimination, and — for the
+//!   IPU — no loop support (`Parser loop rej`) and naive state-to-stage
+//!   leveling.
+//! * [`dp`] — **DPParserGen**, the dynamic-programming parser generator of
+//!   Gibb et al. [33]: clusters adjacent parser states to minimize TCAM
+//!   entries, with its published input restrictions (exact-value
+//!   transitions only, keys drawn from fields extracted in the same state,
+//!   no lookahead, no value-specific `accept` transitions, single-TCAM-table
+//!   targets only).
+//!
+//! Both baselines produce [`ph_hw::TcamProgram`]s checked against the device
+//! profile, so their resource usage is measured by the same code that
+//! measures ParserHawk's.
+
+pub mod commercial;
+pub mod dp;
+pub mod merge;
+pub mod translate;
+
+pub use commercial::{compile_ipu, compile_tofino};
+pub use dp::compile_dp;
+
+use ph_hw::Violation;
+use std::fmt;
+
+/// Why a baseline compiler failed on an input.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CompileError {
+    /// The input uses a feature this compiler does not support; the string
+    /// mirrors the paper's Table 3 annotations (`Wide tran key`,
+    /// `Parser loop rej`, `Conflict transition`, ...).
+    Unsupported(String),
+    /// The generated program exceeds the device's resources.
+    Resources(Vec<Violation>),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Unsupported(m) => write!(f, "{m}"),
+            CompileError::Resources(vs) => {
+                write!(f, "{}", vs.first().map(|v| v.to_string()).unwrap_or_default())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}

@@ -1,0 +1,181 @@
+//! Greedy, order-sensitive TCAM entry merging — the "step 1" of Fig. 4.
+//!
+//! Two entries merge when they sit next to each other in priority order,
+//! agree on action (extract set and next state), and their ternary patterns
+//! merge exactly ([`ph_bits::Ternary::merge`]).  A candidate merge is only
+//! applied when a semantic check proves the state's first-match behaviour
+//! unchanged for every key the merged pattern matches.
+//!
+//! Being greedy over the *written order* of entries, the pass reproduces the
+//! suboptimality the paper attributes to rewrite-rule compilers (V1 in
+//! Fig. 4): a different entry order can yield a different final count.
+
+use ph_hw::HwEntry;
+
+/// Largest number of wildcard bits we are willing to enumerate when
+/// verifying a merge candidate.  Wider candidates are skipped (conservative).
+const MAX_ENUM_WILDCARDS: usize = 16;
+
+/// First-match outcome over an entry list: index of the winning entry.
+fn first_match(entries: &[HwEntry], key: &ph_bits::BitString) -> Option<usize> {
+    entries.iter().position(|e| e.pattern.matches(key))
+}
+
+/// True when replacing `entries` by `candidate` preserves the first-match
+/// action for every key the merged pattern at `pos` matches (keys outside
+/// the merged pattern are untouched by construction).
+fn merge_is_safe(old: &[HwEntry], new: &[HwEntry], pos: usize) -> bool {
+    let pat = &new[pos].pattern;
+    if pat.wildcard_bits() > MAX_ENUM_WILDCARDS || pat.width() > 64 {
+        return false;
+    }
+    pat.enumerate().iter().all(|key| {
+        let a = first_match(old, key).map(|i| (&old[i].extracts, old[i].next));
+        let b = first_match(new, key).map(|i| (&new[i].extracts, new[i].next));
+        a == b
+    })
+}
+
+/// Repeatedly merges adjacent same-action entries until no merge applies.
+/// Returns the number of merges performed.
+pub fn greedy_merge_entries(entries: &mut Vec<HwEntry>) -> usize {
+    let mut merges = 0;
+    loop {
+        let mut applied = false;
+        let mut i = 0;
+        while i + 1 < entries.len() {
+            let (a, b) = (&entries[i], &entries[i + 1]);
+            // Strict prefix merge only: identical masks, one differing care
+            // bit.  Cover-based absorption would amount to redundant-entry
+            // elimination, which the commercial compilers do not do (§7.2)
+            // — R1-added duplicates must keep costing entries.
+            let strict = a.pattern.mask() == b.pattern.mask()
+                && a.pattern.value().xor(b.pattern.value()).count_ones() == 1;
+            if strict && a.next == b.next && a.extracts == b.extracts {
+                if let Some(merged) = a.pattern.merge(&b.pattern) {
+                    let mut candidate = entries.clone();
+                    candidate[i] = HwEntry {
+                        pattern: merged,
+                        extracts: a.extracts.clone(),
+                        next: a.next,
+                    };
+                    candidate.remove(i + 1);
+                    if merge_is_safe(entries, &candidate, i) {
+                        *entries = candidate;
+                        merges += 1;
+                        applied = true;
+                        continue; // retry at same index
+                    }
+                }
+            }
+            i += 1;
+        }
+        if !applied {
+            return merges;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ph_bits::Ternary;
+    use ph_hw::HwNext;
+
+    fn e(pat: &str, next: HwNext) -> HwEntry {
+        HwEntry { pattern: Ternary::parse(pat).unwrap(), extracts: vec![], next }
+    }
+
+    #[test]
+    fn merges_value_cluster() {
+        // The {15, 11, 7, 3} cluster of Fig. 3: all -> Accept; merges to **11.
+        let mut entries = vec![
+            e("1111", HwNext::Accept),
+            e("1011", HwNext::Accept),
+            e("0111", HwNext::Accept),
+            e("0011", HwNext::Accept),
+            e("****", HwNext::Reject),
+        ];
+        let n = greedy_merge_entries(&mut entries);
+        assert_eq!(n, 3);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].pattern.to_string(), "**11");
+    }
+
+    #[test]
+    fn refuses_unsafe_merge() {
+        // Merging 00 and 01 to 0* would shadow nothing here, but merging
+        // 10 with 11 would capture 11 which belongs to Reject.
+        let mut entries = vec![
+            e("10", HwNext::Accept),
+            e("11", HwNext::Reject),
+            e("**", HwNext::Accept),
+        ];
+        let before = entries.clone();
+        greedy_merge_entries(&mut entries);
+        assert_eq!(entries, before);
+    }
+
+    #[test]
+    fn different_actions_do_not_merge() {
+        let mut entries = vec![e("00", HwNext::Accept), e("01", HwNext::Reject)];
+        assert_eq!(greedy_merge_entries(&mut entries), 0);
+        assert_eq!(entries.len(), 2);
+    }
+
+    #[test]
+    fn order_sensitivity_is_real() {
+        // In this order the pairs are not adjacent-mergeable, demonstrating
+        // the V1-vs-V2 suboptimality: {0,3} interleaved with {1,2}.
+        let mut interleaved = vec![
+            e("00", HwNext::Accept),
+            e("01", HwNext::Reject),
+            e("10", HwNext::Reject),
+            e("11", HwNext::Accept),
+        ];
+        assert_eq!(greedy_merge_entries(&mut interleaved), 0);
+
+        // Sorted so same-action entries are adjacent *and* mergeable.
+        let mut sorted = vec![
+            e("01", HwNext::Reject),
+            e("11", HwNext::Reject),
+            e("00", HwNext::Accept),
+            e("10", HwNext::Accept),
+        ];
+        assert_eq!(greedy_merge_entries(&mut sorted), 2);
+        assert_eq!(sorted.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_entries_survive() {
+        // The commercial compilers do not do dead-entry elimination (R1
+        // mutations keep their cost): identical adjacent duplicates stay.
+        let mut entries = vec![
+            e("00", HwNext::Accept),
+            e("00", HwNext::Accept), // dead duplicate (R1)
+            e("11", HwNext::Reject),
+        ];
+        assert_eq!(greedy_merge_entries(&mut entries), 0);
+        assert_eq!(entries.len(), 3);
+    }
+
+    #[test]
+    fn cover_absorption_is_not_performed() {
+        // 1*** covers 10*1, but the commercial merger must keep both
+        // (no redundant-entry elimination).
+        let mut entries = vec![e("1***", HwNext::Accept), e("10*1", HwNext::Accept)];
+        assert_eq!(greedy_merge_entries(&mut entries), 0);
+        assert_eq!(entries.len(), 2);
+    }
+
+    #[test]
+    fn wide_patterns_skipped() {
+        let wide = "*".repeat(40);
+        let mut entries = vec![
+            HwEntry { pattern: Ternary::parse(&wide).unwrap(), extracts: vec![], next: HwNext::Accept },
+            HwEntry { pattern: Ternary::parse(&wide).unwrap(), extracts: vec![], next: HwNext::Accept },
+        ];
+        // Candidate merge has 40 wildcards > limit; skipped.
+        assert_eq!(greedy_merge_entries(&mut entries), 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Direct one-to-one translation of a spec FSM into a TCAM program.
+//!
+//! This is the Table 1 construction: hardware state `h_s` carries spec state
+//! `s`'s transition key, and field extraction moves onto the *incoming*
+//! entries — an entry that transitions into `h_t` performs `t`'s
+//! extractions, because the hardware matches a state's key before its
+//! entries extract anything (Fig. 6), whereas the spec extracts before
+//! keying (Fig. 7).  One extra entry state performs the start state's
+//! extractions unconditionally.
+//!
+//! Every compiler in this repository — both baselines and ParserHawk's
+//! loop-free fallback — starts from this semantically exact translation and
+//! then transforms it.
+
+use ph_hw::{DeviceProfile, HwEntry, HwNext, HwState, HwStateId, TcamProgram};
+use ph_ir::{NextState, ParserSpec};
+
+/// Maps a spec [`NextState`] to the hardware state that *represents* that
+/// spec state (offset by one because index 0 is the synthetic entry state),
+/// and collects the target's extractions onto the entry.
+fn edge(spec: &ParserSpec, next: NextState) -> (HwNext, Vec<ph_ir::FieldId>) {
+    match next {
+        NextState::Accept => (HwNext::Accept, Vec::new()),
+        NextState::Reject => (HwNext::Reject, Vec::new()),
+        NextState::State(t) => {
+            (HwNext::State(HwStateId(t.0 + 1)), spec.state(t).extracts.clone())
+        }
+    }
+}
+
+/// Performs the direct translation for `device`.  All states land in stage
+/// 0; stage assignment for pipelined devices is a separate pass.
+pub fn direct_translate(spec: &ParserSpec, device: &DeviceProfile) -> TcamProgram {
+    let mut states = Vec::with_capacity(spec.states.len() + 1);
+
+    // Synthetic entry state: extract the start state's fields, go to its
+    // hardware representative.
+    let (next0, ex0) = edge(spec, NextState::State(spec.start));
+    states.push(HwState {
+        name: "entry".into(),
+        stage: 0,
+        key: Vec::new(),
+        entries: vec![HwEntry { pattern: ph_bits::Ternary::any(0), extracts: ex0, next: next0 }],
+    });
+
+    for st in &spec.states {
+        let kw = st.key_width();
+        let mut entries = Vec::with_capacity(st.transitions.len() + 1);
+        for tr in &st.transitions {
+            let (next, extracts) = edge(spec, tr.next);
+            entries.push(HwEntry { pattern: tr.pattern.clone(), extracts, next });
+        }
+        let (dnext, dex) = edge(spec, st.default);
+        entries.push(HwEntry { pattern: ph_bits::Ternary::any(kw), extracts: dex, next: dnext });
+        states.push(HwState {
+            name: st.name.clone(),
+            stage: 0,
+            key: st.key.clone(),
+            entries,
+        });
+    }
+
+    TcamProgram { device: device.clone(), states, start: HwStateId(0) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ph_bits::BitString;
+    use ph_hw::run_program;
+    use ph_ir::simulate;
+    use ph_p4f::parse_parser;
+    use rand::{Rng, SeedableRng};
+
+    const SRC: &str = r#"
+        header eth_t { ty : 4; }
+        header a_t { v : 4; }
+        header b_t { v : 4; }
+        parser {
+            state start {
+                extract(eth_t);
+                transition select(eth_t.ty) {
+                    0b1**0 : pa;
+                    3 : pb;
+                    default : accept;
+                }
+            }
+            state pa { extract(a_t); transition accept; }
+            state pb { extract(b_t); transition reject; }
+        }
+    "#;
+
+    #[test]
+    fn translation_matches_spec_on_random_inputs() {
+        let spec = parse_parser(SRC).unwrap();
+        let prog = direct_translate(&spec, &DeviceProfile::tofino());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..500 {
+            let len = rng.gen_range(0..=12usize);
+            let mut input = BitString::zeros(len);
+            for i in 0..len {
+                input.set(i, rng.gen_bool(0.5));
+            }
+            let s = simulate(&spec, &input, 16);
+            let h = run_program(&prog, &spec.fields, &input, 17);
+            assert_eq!(s.status, h.status, "input {input}");
+            assert_eq!(s.dict, h.dict, "input {input}");
+        }
+    }
+
+    #[test]
+    fn entry_counts() {
+        let spec = parse_parser(SRC).unwrap();
+        let prog = direct_translate(&spec, &DeviceProfile::tofino());
+        // 1 entry state + (2 rules + 1 default) + (0+1) + (0+1)
+        assert_eq!(prog.entry_count(), 6);
+        assert_eq!(prog.states.len(), 4);
+    }
+}

@@ -1,0 +1,47 @@
+//! Criterion benchmarks for the baseline compilers and the simulators
+//! (the "all baselines finish within a minute" observation of §7.2 —
+//! here they finish within microseconds, being pure heuristics).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ph_baseline::{compile_dp, compile_tofino, compile_ipu};
+use ph_benchmarks::packets::PacketBuilder;
+use ph_benchmarks::suite;
+use ph_hw::{run_program, DeviceProfile};
+use ph_ir::simulate;
+
+fn benches(c: &mut Criterion) {
+    let sai = suite::sai_v2();
+    let me3 = suite::me3_redundant_entries();
+    let icmp = suite::parse_icmp();
+
+    c.bench_function("baseline/tofino_sai_v2", |b| {
+        b.iter(|| compile_tofino(&sai.spec, &DeviceProfile::tofino()).unwrap())
+    });
+    c.bench_function("baseline/ipu_sai_v2", |b| {
+        b.iter(|| compile_ipu(&sai.spec, &DeviceProfile::ipu()).unwrap())
+    });
+    c.bench_function("baseline/dp_me3", |b| {
+        b.iter(|| compile_dp(&me3.spec, &DeviceProfile::tofino()).unwrap())
+    });
+
+    // Simulator throughput: spec and machine on a crafted packet.
+    let prog = compile_tofino(&icmp.spec, &DeviceProfile::tofino()).unwrap();
+    let pkt = PacketBuilder::new()
+        .ethernet([1; 6], [2; 6], 0x0800)
+        .ipv4(1, 1, 2)
+        .payload(&[0u8; 8])
+        .bits();
+    c.bench_function("sim/spec_parse_icmp", |b| {
+        b.iter(|| simulate(&icmp.spec, &pkt, 16))
+    });
+    c.bench_function("sim/machine_parse_icmp", |b| {
+        b.iter(|| run_program(&prog, &icmp.spec.fields, &pkt, 32))
+    });
+}
+
+criterion_group! {
+    name = baselines;
+    config = Criterion::default().sample_size(20);
+    targets = benches
+}
+criterion_main!(baselines);

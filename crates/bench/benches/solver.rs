@@ -1,0 +1,82 @@
+//! Criterion microbenchmarks for the solver substrate (SAT + bit-vector).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ph_sat::{Lit, Solver};
+use ph_smt::Smt;
+
+/// Pigeonhole principle: n pigeons into n-1 holes (UNSAT, forces search).
+fn pigeonhole(n: usize) -> bool {
+    let mut s = Solver::new();
+    let p: Vec<Vec<Lit>> =
+        (0..n).map(|_| (0..n - 1).map(|_| Lit::pos(s.new_var())).collect()).collect();
+    for row in &p {
+        s.add_clause(row.iter().copied());
+    }
+    for h in 0..n - 1 {
+        for i in 0..n {
+            for j in (i + 1)..n {
+                s.add_clause([!p[i][h], !p[j][h]]);
+            }
+        }
+    }
+    s.solve() == Some(false)
+}
+
+/// Adder equivalence: (x + y) + z == x + (y + z) over 16-bit vectors.
+fn adder_associativity() -> bool {
+    let mut s = Smt::new();
+    let x = s.var("x", 16);
+    let y = s.var("y", 16);
+    let z = s.var("z", 16);
+    let xy = s.add(x, y);
+    let l = s.add(xy, z);
+    let yz = s.add(y, z);
+    let r = s.add(x, yz);
+    let ne = s.ne(l, r);
+    s.assert(ne);
+    s.check().is_unsat()
+}
+
+/// TCAM first-match: find a key matched by entry 3 but none before it.
+fn tcam_priority_query() -> bool {
+    let mut s = Smt::new();
+    let key = s.var("key", 16);
+    let entries = [
+        (0x1234u64, 0xffffu64),
+        (0x1200, 0xff00),
+        (0x0034, 0x00ff),
+        (0x0004, 0x000f),
+    ];
+    let mut miss_before = s.tt();
+    for (i, (v, m)) in entries.iter().enumerate() {
+        let vm = s.const_u64(v & m, 16);
+        let mc = s.const_u64(*m, 16);
+        let km = s.and(key, mc);
+        let hit = s.eq(km, vm);
+        if i == entries.len() - 1 {
+            let fire = s.and(miss_before, hit);
+            s.assert(fire);
+        } else {
+            let nh = s.not(hit);
+            miss_before = s.and(miss_before, nh);
+        }
+    }
+    s.check().is_sat()
+}
+
+fn benches(c: &mut Criterion) {
+    c.bench_function("sat/pigeonhole_7", |b| b.iter(|| assert!(pigeonhole(7))));
+    c.bench_function("smt/adder_associativity_16b", |b| {
+        b.iter(|| assert!(adder_associativity()))
+    });
+    c.bench_function("smt/tcam_priority_query", |b| {
+        b.iter(|| assert!(tcam_priority_query()))
+    });
+}
+
+criterion_group! {
+    name = solver;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(solver);

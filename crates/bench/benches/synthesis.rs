@@ -1,0 +1,46 @@
+//! Criterion benchmarks for end-to-end synthesis on representative
+//! benchmarks (compile-time distributions backing Table 3's OPT columns).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ph_benchmarks::suite;
+use ph_core::{OptConfig, SynthParams, Synthesizer};
+use ph_hw::DeviceProfile;
+use std::time::Duration;
+
+fn synthesize(spec: &ph_ir::ParserSpec, device: DeviceProfile) -> usize {
+    Synthesizer::new(device, OptConfig::all())
+        .with_params(SynthParams {
+            timeout: Some(Duration::from_secs(120)),
+            ..Default::default()
+        })
+        .synthesize(spec)
+        .expect("benchmark compiles")
+        .program
+        .entry_count()
+}
+
+fn benches(c: &mut Criterion) {
+    let eth = suite::parse_ethernet();
+    let dash = suite::dash_v1();
+    let me1 = suite::me1_entry_merging();
+
+    c.bench_function("synthesis/parse_ethernet_tofino", |b| {
+        b.iter(|| synthesize(&eth.spec, DeviceProfile::tofino()))
+    });
+    c.bench_function("synthesis/parse_ethernet_ipu", |b| {
+        b.iter(|| synthesize(&eth.spec, DeviceProfile::ipu()))
+    });
+    c.bench_function("synthesis/dash_v1_tofino", |b| {
+        b.iter(|| synthesize(&dash.spec, DeviceProfile::tofino()))
+    });
+    c.bench_function("synthesis/me1_param_device", |b| {
+        b.iter(|| synthesize(&me1.spec, DeviceProfile::parameterized(4, 2, 16)))
+    });
+}
+
+criterion_group! {
+    name = synthesis;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(synthesis);

@@ -1,0 +1,50 @@
+//! Regenerates **Table 5**: the Opt4/Opt5 ablation — compile time with
+//! "Other OPT" (Opt4 and Opt5 disabled), "+OPT5", and "+OPT4,5" on the
+//! three benchmarks the paper selects.
+//!
+//! ```text
+//! cargo run -p ph-bench --release --bin table5
+//! ```
+
+use ph_bench::{env_secs, run_parserhawk};
+use ph_benchmarks::suite;
+use ph_core::OptConfig;
+use ph_hw::DeviceProfile;
+
+fn main() {
+    let budget = env_secs("PH_ABLATION_TIMEOUT_SECS", 60);
+    let benches = vec![suite::sai_v1(), suite::dash_v1(), suite::large_tran_key()];
+    let configs = [
+        ("Other OPT", OptConfig::without_opt45()),
+        ("+ OPT5", OptConfig::without_opt4()),
+        ("+ OPT4,5", OptConfig::all()),
+    ];
+
+    println!("Table 5: speed-up effect from Opt4/Opt5 (reproduction)\n");
+    println!(
+        "{:<18} | {:^34} | {:^34}",
+        "Program Name", "Tofino", "IPU"
+    );
+    println!(
+        "{:<18} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}",
+        "", "Other(s)", "+OPT5(s)", "+OPT4,5(s)", "Other(s)", "+OPT5(s)", "+OPT4,5(s)"
+    );
+
+    for b in &benches {
+        let mut cells = Vec::new();
+        for dev in [DeviceProfile::tofino(), DeviceProfile::ipu()] {
+            for (_, opts) in configs {
+                let r = run_parserhawk(&b.spec, &dev, opts, budget);
+                cells.push(r.time_cell(budget));
+            }
+        }
+        println!(
+            "{:<18} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}",
+            b.name, cells[0], cells[1], cells[2], cells[3], cells[4], cells[5]
+        );
+    }
+    println!(
+        "\nExpected shape (paper): each of Opt4 and Opt5 contributes roughly an\n\
+         order of magnitude, so columns shrink left to right on both devices."
+    );
+}

@@ -1,0 +1,540 @@
+//! The benchmark parsers, written in the P4-subset front-end language so
+//! they double as end-to-end tests of `ph-p4f`.
+//!
+//! Each builder mirrors one Table 3 program family.  Sizes follow the
+//! paper's structural parameters (state counts, rule shapes, key widths)
+//! scaled to keep whole-suite runs tractable on one machine; EXPERIMENTS.md
+//! records the mapping.
+
+use ph_ir::ParserSpec;
+use ph_p4f::parse_parser;
+
+/// A named benchmark specification.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// Display name (Table 3's "Program Name").
+    pub name: &'static str,
+    /// The parser specification.
+    pub spec: ParserSpec,
+    /// Whether the spec contains loops.
+    pub loopy: bool,
+}
+
+fn must(name: &'static str, src: &str, loopy: bool) -> Benchmark {
+    let spec = parse_parser(src).unwrap_or_else(|e| panic!("benchmark {name}: {e}"));
+    Benchmark { name, spec, loopy }
+}
+
+/// `Parse Ethernet`: etherType demultiplexing into IPv4/IPv6.
+pub fn parse_ethernet() -> Benchmark {
+    must(
+        "Parse Ethernet",
+        r#"
+        header ethernet_t { dstAddr : 16; srcAddr : 16; etherType : 8; }
+        header ipv4_t { ver_ihl : 8; proto : 8; }
+        header ipv6_t { ver_cls : 8; nexthdr : 8; }
+        parser {
+            state start {
+                extract(ethernet_t);
+                transition select(ethernet_t.etherType) {
+                    0x08 : parse_ipv4;
+                    0x86 : parse_ipv6;
+                    default : accept;
+                }
+            }
+            state parse_ipv4 { extract(ipv4_t); transition accept; }
+            state parse_ipv6 { extract(ipv6_t); transition accept; }
+        }
+        "#,
+        false,
+    )
+}
+
+/// `Parse icmp`: a three-level Ethernet → IPv4 → ICMP chain.
+pub fn parse_icmp() -> Benchmark {
+    must(
+        "Parse icmp",
+        r#"
+        header ethernet_t { dstAddr : 8; etherType : 8; }
+        header ipv4_t { ver : 4; proto : 8; }
+        header icmp_t { type_ : 8; code : 8; }
+        header tcp_t { sport : 8; }
+        parser {
+            state start {
+                extract(ethernet_t);
+                transition select(ethernet_t.etherType) {
+                    0x08 : parse_ipv4;
+                    default : accept;
+                }
+            }
+            state parse_ipv4 {
+                extract(ipv4_t);
+                transition select(ipv4_t.proto) {
+                    1 : parse_icmp;
+                    6 : parse_tcp;
+                    default : accept;
+                }
+            }
+            state parse_icmp { extract(icmp_t); transition accept; }
+            state parse_tcp { extract(tcp_t); transition accept; }
+        }
+        "#,
+        false,
+    )
+}
+
+/// `Parse MPLS`: a loopy label stack, popped until bottom-of-stack.
+pub fn parse_mpls() -> Benchmark {
+    must(
+        "Parse MPLS",
+        r#"
+        header ethernet_t { etherType : 4; }
+        header mpls_t { label : 3; bos : 1; }
+        header ipv4_t { ver : 4; }
+        parser {
+            state start {
+                extract(ethernet_t);
+                transition select(ethernet_t.etherType) {
+                    0x8 : parse_mpls;
+                    default : accept;
+                }
+            }
+            state parse_mpls {
+                extract(mpls_t);
+                transition select(mpls_t.bos) {
+                    0 : parse_mpls;
+                    default : parse_ipv4;
+                }
+            }
+            state parse_ipv4 { extract(ipv4_t); transition accept; }
+        }
+        "#,
+        true,
+    )
+}
+
+/// `Large tran key`: one state keying on a 16-bit field — the Fig. 3
+/// rule set (`{15, 11, 7, 3} → N1, 14 → N2, 2 → N3`) widened to 16 bits and
+/// written in an interleaved order, so greedy adjacent merging (V1 of
+/// Fig. 4) finds nothing while a combinatorial search finds the
+/// one-entry `**11` cover.
+pub fn large_tran_key() -> Benchmark {
+    must(
+        "Large tran key",
+        r#"
+        header wide_t { k : 16; }
+        header n1_t { v : 4; }
+        header n2_t { v : 4; }
+        header n3_t { v : 4; }
+        parser {
+            state start {
+                extract(wide_t);
+                transition select(wide_t.k) {
+                    0x100F : pn1;
+                    0x100E : pn2;
+                    0x100B : pn1;
+                    0x1007 : pn1;
+                    0x1002 : pn3;
+                    0x1003 : pn1;
+                    default : accept;
+                }
+            }
+            state pn1 { extract(n1_t); transition accept; }
+            state pn2 { extract(n2_t); transition accept; }
+            state pn3 { extract(n3_t); transition accept; }
+        }
+        "#,
+        false,
+    )
+}
+
+/// `Multi-key (same pkt field)`: two states keying on different slices of
+/// the same field.
+pub fn multi_key_same_field() -> Benchmark {
+    must(
+        "Multi-key (same pkt field)",
+        r#"
+        header h_t { f : 8; }
+        header a_t { v : 4; }
+        header b_t { v : 4; }
+        parser {
+            state start {
+                extract(h_t);
+                transition select(h_t.f[0:4]) {
+                    0x5 : second;
+                    default : accept;
+                }
+            }
+            state second {
+                extract(a_t);
+                transition select(h_t.f[4:8]) {
+                    0x9 : third;
+                    default : accept;
+                }
+            }
+            state third { extract(b_t); transition accept; }
+        }
+        "#,
+        false,
+    )
+}
+
+/// `Multi-keys (diff pkt fields)`: a state keying on two different fields
+/// at once.
+pub fn multi_key_diff_fields() -> Benchmark {
+    must(
+        "Multi-keys (diff pkt fields)",
+        r#"
+        header h_t { f0 : 6; f1 : 6; }
+        header a_t { v : 4; }
+        parser {
+            state start {
+                extract(h_t);
+                transition select(h_t.f0, h_t.f1) {
+                    0b000001_000010 : pa;
+                    0b000011_000100 : pa;
+                    default : reject;
+                }
+            }
+            state pa { extract(a_t); transition accept; }
+        }
+        "#,
+        false,
+    )
+}
+
+/// `Pure Extraction states`: a chain of extract-only states with a single
+/// default transition each — the §5.3 chain-merging showcase.
+pub fn pure_extraction() -> Benchmark {
+    must(
+        "Pure Extraction states",
+        r#"
+        header a_t { v : 8; }
+        header b_t { v : 8; }
+        header c_t { v : 8; }
+        header d_t { v : 8; }
+        header e_t { v : 8; }
+        parser {
+            state start { extract(a_t); transition s1; }
+            state s1 { extract(b_t); transition s2; }
+            state s2 { extract(c_t); transition s3; }
+            state s3 { extract(d_t); transition s4; }
+            state s4 { extract(e_t); transition accept; }
+        }
+        "#,
+        false,
+    )
+}
+
+/// `Sai V1`: a SONiC-SAI-shaped parser — Ethernet with VLAN, then L3 / ARP
+/// branching (6-state subset).
+pub fn sai_v1() -> Benchmark {
+    must(
+        "Sai V1",
+        r#"
+        header ethernet_t { dst : 8; etherType : 8; }
+        header vlan_t { vid : 8; etherType : 8; }
+        header ipv4_t { ver : 4; proto : 8; }
+        header ipv6_t { ver : 4; nexthdr : 8; }
+        header arp_t { op : 8; }
+        header tcp_t { sport : 8; }
+        parser {
+            state start {
+                extract(ethernet_t);
+                transition select(ethernet_t.etherType) {
+                    0x81 : parse_vlan;
+                    0x08 : parse_ipv4;
+                    0x86 : parse_ipv6;
+                    0x06 : parse_arp;
+                    default : accept;
+                }
+            }
+            state parse_vlan {
+                extract(vlan_t);
+                transition select(vlan_t.etherType) {
+                    0x08 : parse_ipv4;
+                    0x86 : parse_ipv6;
+                    default : accept;
+                }
+            }
+            state parse_ipv4 {
+                extract(ipv4_t);
+                transition select(ipv4_t.proto) {
+                    6 : parse_tcp;
+                    default : accept;
+                }
+            }
+            state parse_ipv6 {
+                extract(ipv6_t);
+                transition select(ipv6_t.nexthdr) {
+                    6 : parse_tcp;
+                    default : accept;
+                }
+            }
+            state parse_arp { extract(arp_t); transition accept; }
+            state parse_tcp { extract(tcp_t); transition accept; }
+        }
+        "#,
+        false,
+    )
+}
+
+/// `Sai V2`: the larger SAI subset — V1 plus double-tagged VLAN, UDP with
+/// tunnel demultiplexing, and ICMP (9 states).
+pub fn sai_v2() -> Benchmark {
+    must(
+        "Sai V2",
+        r#"
+        header ethernet_t { dst : 8; etherType : 8; }
+        header vlan_t { vid : 4; etherType : 8; }
+        header qinq_t { vid : 4; etherType : 8; }
+        header ipv4_t { ver : 4; proto : 8; }
+        header udp_t { dport : 8; }
+        header vxlan_t { vni : 8; }
+        header tcp_t { sport : 8; }
+        header icmp_t { type_ : 8; }
+        header arp_t { op : 8; }
+        parser {
+            state start {
+                extract(ethernet_t);
+                transition select(ethernet_t.etherType) {
+                    0x81 : parse_vlan;
+                    0x88 : parse_qinq;
+                    0x08 : parse_ipv4;
+                    0x06 : parse_arp;
+                    default : accept;
+                }
+            }
+            state parse_qinq {
+                extract(qinq_t);
+                transition select(qinq_t.etherType) {
+                    0x81 : parse_vlan;
+                    default : accept;
+                }
+            }
+            state parse_vlan {
+                extract(vlan_t);
+                transition select(vlan_t.etherType) {
+                    0x08 : parse_ipv4;
+                    default : accept;
+                }
+            }
+            state parse_ipv4 {
+                extract(ipv4_t);
+                transition select(ipv4_t.proto) {
+                    6 : parse_tcp;
+                    17 : parse_udp;
+                    1 : parse_icmp;
+                    default : accept;
+                }
+            }
+            state parse_udp {
+                extract(udp_t);
+                transition select(udp_t.dport) {
+                    0xb5 : parse_vxlan;
+                    default : accept;
+                }
+            }
+            state parse_vxlan { extract(vxlan_t); transition accept; }
+            state parse_tcp { extract(tcp_t); transition accept; }
+            state parse_icmp { extract(icmp_t); transition accept; }
+            state parse_arp { extract(arp_t); transition accept; }
+        }
+        "#,
+        false,
+    )
+}
+
+/// `Dash V1`: the two-state DASH direction demultiplexer of Table 5.
+pub fn dash_v1() -> Benchmark {
+    must(
+        "Dash V1",
+        r#"
+        header meta_t { dir : 2; }
+        header inbound_t { v : 8; }
+        parser {
+            state start {
+                extract(meta_t);
+                transition select(meta_t.dir) {
+                    0 : p_in;
+                    default : accept;
+                }
+            }
+            state p_in { extract(inbound_t); transition accept; }
+        }
+        "#,
+        false,
+    )
+}
+
+/// `Dash V2`: a DASH-pipeline-shaped parser — shallow, wide branching on a
+/// small key with many pure-extraction leaves.
+pub fn dash_v2() -> Benchmark {
+    must(
+        "Dash V2",
+        r#"
+        header meta_t { dir : 2; }
+        header inbound_t { v : 8; }
+        header outbound_t { v : 8; }
+        header misc_t { v : 8; }
+        parser {
+            state start {
+                extract(meta_t);
+                transition select(meta_t.dir) {
+                    0 : p_in;
+                    1 : p_out;
+                    default : p_misc;
+                }
+            }
+            state p_in { extract(inbound_t); transition accept; }
+            state p_out { extract(outbound_t); transition accept; }
+            state p_misc { extract(misc_t); transition accept; }
+        }
+        "#,
+        false,
+    )
+}
+
+/// Table 4's ME-1: the Fig. 3 merging example — a 4-bit key where
+/// {15, 11, 7, 3} share a target, plus two singleton rules.
+pub fn me1_entry_merging() -> Benchmark {
+    must(
+        "ME-1",
+        r#"
+        header k_t { k : 4; }
+        header n1_t { v : 2; }
+        header n2_t { v : 2; }
+        header n3_t { v : 2; }
+        parser {
+            state start {
+                extract(k_t);
+                transition select(k_t.k) {
+                    15 : n1;
+                    11 : n1;
+                    7 : n1;
+                    3 : n1;
+                    14 : n2;
+                    2 : n3;
+                    default : accept;
+                }
+            }
+            state n1 { extract(n1_t); transition accept; }
+            state n2 { extract(n2_t); transition accept; }
+            state n3 { extract(n3_t); transition accept; }
+        }
+        "#,
+        false,
+    )
+}
+
+/// Table 4's ME-2: a key that must be split on narrow-key devices.
+pub fn me2_key_splitting() -> Benchmark {
+    must(
+        "ME-2",
+        r#"
+        header k_t { k : 16; }
+        header a_t { v : 2; }
+        parser {
+            state start {
+                extract(k_t);
+                transition select(k_t.k) {
+                    0xABCD : pa;
+                    0xABCE : pa;
+                    0x1234 : pa;
+                    default : reject;
+                }
+            }
+            state pa { extract(a_t); transition accept; }
+        }
+        "#,
+        false,
+    )
+}
+
+/// Table 4's ME-3: a rule list dominated by redundant entries (every rule
+/// and the default share one target) that a search-based compiler
+/// collapses to a single entry.  Exact values keep it inside DPParserGen's
+/// input fragment.
+pub fn me3_redundant_entries() -> Benchmark {
+    must(
+        "ME-3",
+        r#"
+        header k_t { k : 8; }
+        header a_t { v : 2; }
+        parser {
+            state start {
+                extract(k_t);
+                transition select(k_t.k) {
+                    0 : pa;
+                    9 : pa;
+                    1 : pa;
+                    8 : pa;
+                    2 : pa;
+                    7 : pa;
+                    3 : pa;
+                    6 : pa;
+                    4 : pa;
+                    5 : pa;
+                    default : pa;
+                }
+            }
+            state pa { extract(a_t); transition accept; }
+        }
+        "#,
+        false,
+    )
+}
+
+/// All base benchmarks in Table 3 order.
+pub fn all_base() -> Vec<Benchmark> {
+    vec![
+        parse_ethernet(),
+        parse_icmp(),
+        parse_mpls(),
+        large_tran_key(),
+        multi_key_same_field(),
+        multi_key_diff_fields(),
+        pure_extraction(),
+        sai_v1(),
+        sai_v2(),
+        dash_v2(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ph_ir::analysis;
+
+    #[test]
+    fn all_benchmarks_validate() {
+        for b in all_base() {
+            assert!(b.spec.validate().is_ok(), "{}", b.name);
+            assert_eq!(!analysis::is_loop_free(&b.spec), b.loopy, "{}", b.name);
+        }
+        for b in [me1_entry_merging(), me2_key_splitting(), me3_redundant_entries()] {
+            assert!(b.spec.validate().is_ok(), "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn structural_shapes() {
+        assert_eq!(parse_ethernet().spec.states.len(), 3);
+        assert_eq!(parse_icmp().spec.states.len(), 4);
+        assert_eq!(sai_v1().spec.states.len(), 6);
+        assert_eq!(sai_v2().spec.states.len(), 9);
+        assert!(parse_mpls().loopy);
+        assert_eq!(large_tran_key().spec.states[0].key_width(), 16);
+    }
+
+    #[test]
+    fn me3_is_all_one_target() {
+        let b = me3_redundant_entries();
+        // Every input accepts after extracting both fields: any single
+        // catch-all implementation suffices, which is what ParserHawk finds.
+        let input = ph_bits::BitString::from_u64(0xAB, 8)
+            .concat(&ph_bits::BitString::from_u64(2, 2));
+        let r = ph_ir::simulate(&b.spec, &input, 8);
+        assert_eq!(r.status, ph_ir::ParseStatus::Accept);
+    }
+}

@@ -1,0 +1,397 @@
+//! Arbitrary-length bit strings, MSB-first.
+//!
+//! A [`BitString`] is the universal carrier for packet data in ParserHawk:
+//! input bitstreams, extracted field values, transition-key values and TCAM
+//! masks are all bit strings.  Index 0 is the first bit on the wire (the most
+//! significant bit of the first byte), matching P4's `pkt.extract` semantics.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An immutable-length, mutable-content sequence of bits, MSB-first.
+///
+/// Bits are packed into `u64` words; bit `i` of the string lives in word
+/// `i / 64` at bit position `63 - (i % 64)` so lexicographic word order equals
+/// wire order.
+///
+/// # Examples
+///
+/// ```
+/// use ph_bits::BitString;
+///
+/// let b = BitString::from_u64(0b1010, 4);
+/// assert_eq!(b.to_string(), "1010");
+/// assert_eq!(b.get(0), true);  // MSB first
+/// assert_eq!(b.get(3), false);
+/// assert_eq!(b.slice(1, 3).to_string(), "01");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitString {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitString {
+    /// The empty bit string.
+    pub fn empty() -> Self {
+        BitString { len: 0, words: Vec::new() }
+    }
+
+    /// A string of `len` zero bits.
+    pub fn zeros(len: usize) -> Self {
+        BitString { len, words: vec![0; len.div_ceil(64)] }
+    }
+
+    /// A string of `len` one bits.
+    pub fn ones(len: usize) -> Self {
+        let mut s = Self::zeros(len);
+        for i in 0..len {
+            s.set(i, true);
+        }
+        s
+    }
+
+    /// Builds a bit string of width `len` from the low `len` bits of `v`,
+    /// MSB first.  Panics if `len > 64` or `v` does not fit in `len` bits.
+    pub fn from_u64(v: u64, len: usize) -> Self {
+        assert!(len <= 64, "from_u64 width {len} > 64");
+        if len < 64 {
+            assert!(v < (1u64 << len), "value {v:#x} does not fit in {len} bits");
+        }
+        let mut s = Self::zeros(len);
+        for i in 0..len {
+            s.set(i, (v >> (len - 1 - i)) & 1 == 1);
+        }
+        s
+    }
+
+    /// Builds a bit string of width `len` from the low `len` bits of `v`.
+    /// Supports widths up to 128.
+    pub fn from_u128(v: u128, len: usize) -> Self {
+        assert!(len <= 128, "from_u128 width {len} > 128");
+        if len < 128 {
+            assert!(v < (1u128 << len), "value does not fit in {len} bits");
+        }
+        let mut s = Self::zeros(len);
+        for i in 0..len {
+            s.set(i, (v >> (len - 1 - i)) & 1 == 1);
+        }
+        s
+    }
+
+    /// Parses a binary literal such as `"1010"`. Underscores are ignored.
+    ///
+    /// Returns `None` on any character other than `0`, `1`, `_`.
+    pub fn parse_binary(text: &str) -> Option<Self> {
+        let mut bits = Vec::new();
+        for c in text.chars() {
+            match c {
+                '0' => bits.push(false),
+                '1' => bits.push(true),
+                '_' => {}
+                _ => return None,
+            }
+        }
+        Some(Self::from_bits(&bits))
+    }
+
+    /// Builds from an explicit bit slice, index 0 = first bit.
+    pub fn from_bits(bits: &[bool]) -> Self {
+        let mut s = Self::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            s.set(i, b);
+        }
+        s
+    }
+
+    /// Builds from bytes, wire order (bit 0 = MSB of `bytes[0]`).
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut s = Self::zeros(bytes.len() * 8);
+        for (bi, &byte) in bytes.iter().enumerate() {
+            for k in 0..8 {
+                s.set(bi * 8 + k, (byte >> (7 - k)) & 1 == 1);
+            }
+        }
+        s
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the string holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i` (0 = first / most significant).  Panics out of range.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        (self.words[i / 64] >> (63 - (i % 64))) & 1 == 1
+    }
+
+    /// Writes bit `i`.  Panics out of range.
+    pub fn set(&mut self, i: usize, v: bool) {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        let w = &mut self.words[i / 64];
+        let bit = 1u64 << (63 - (i % 64));
+        if v {
+            *w |= bit;
+        } else {
+            *w &= !bit;
+        }
+    }
+
+    /// Copies bits `[start, end)` into a new string.  Panics if out of range
+    /// or `start > end`.
+    pub fn slice(&self, start: usize, end: usize) -> Self {
+        assert!(start <= end && end <= self.len, "slice [{start},{end}) of len {}", self.len);
+        let mut out = Self::zeros(end - start);
+        for i in start..end {
+            out.set(i - start, self.get(i));
+        }
+        out
+    }
+
+    /// Concatenates `other` after `self`.
+    pub fn concat(&self, other: &BitString) -> Self {
+        let mut out = Self::zeros(self.len + other.len);
+        for i in 0..self.len {
+            out.set(i, self.get(i));
+        }
+        for i in 0..other.len {
+            out.set(self.len + i, other.get(i));
+        }
+        out
+    }
+
+    /// Appends a single bit in place.
+    pub fn push(&mut self, v: bool) {
+        if self.len % 64 == 0 {
+            self.words.push(0);
+        }
+        self.len += 1;
+        let idx = self.len - 1;
+        self.set(idx, v);
+    }
+
+    /// Interprets the whole string as an unsigned integer, MSB first.
+    /// Panics if longer than 64 bits.
+    pub fn to_u64(&self) -> u64 {
+        assert!(self.len <= 64, "to_u64 on {}-bit string", self.len);
+        let mut v = 0u64;
+        for i in 0..self.len {
+            v = (v << 1) | self.get(i) as u64;
+        }
+        v
+    }
+
+    /// Interprets the whole string as an unsigned integer, MSB first.
+    /// Panics if longer than 128 bits.
+    pub fn to_u128(&self) -> u128 {
+        assert!(self.len <= 128, "to_u128 on {}-bit string", self.len);
+        let mut v = 0u128;
+        for i in 0..self.len {
+            v = (v << 1) | self.get(i) as u128;
+        }
+        v
+    }
+
+    /// Bitwise AND; panics on width mismatch.
+    pub fn and(&self, other: &BitString) -> Self {
+        assert_eq!(self.len, other.len, "width mismatch in and");
+        let mut out = self.clone();
+        for (w, o) in out.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+        out
+    }
+
+    /// Bitwise OR; panics on width mismatch.
+    pub fn or(&self, other: &BitString) -> Self {
+        assert_eq!(self.len, other.len, "width mismatch in or");
+        let mut out = self.clone();
+        for (w, o) in out.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+        out
+    }
+
+    /// Bitwise XOR; panics on width mismatch.
+    pub fn xor(&self, other: &BitString) -> Self {
+        assert_eq!(self.len, other.len, "width mismatch in xor");
+        let mut out = self.clone();
+        for (w, o) in out.words.iter_mut().zip(&other.words) {
+            *w ^= o;
+        }
+        out
+    }
+
+    /// Bitwise NOT (within the string's width).
+    pub fn not(&self) -> Self {
+        let mut out = self.clone();
+        for w in out.words.iter_mut() {
+            *w = !*w;
+        }
+        // Clear the unused tail so equality and to_u64 stay correct.
+        let tail = out.len % 64;
+        if tail != 0 {
+            let last = out.words.len() - 1;
+            out.words[last] &= !0u64 << (64 - tail);
+        }
+        out
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterator over bits, first bit first.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+impl fmt::Display for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.iter() {
+            write!(f, "{}", if b { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitString(0b{self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn from_u64_roundtrip() {
+        for v in [0u64, 1, 5, 0xff, 0xdead] {
+            let b = BitString::from_u64(v, 16);
+            assert_eq!(b.to_u64(), v);
+            assert_eq!(b.len(), 16);
+        }
+    }
+
+    #[test]
+    fn msb_first_ordering() {
+        let b = BitString::from_u64(0b1000, 4);
+        assert!(b.get(0));
+        assert!(!b.get(1));
+        assert!(!b.get(2));
+        assert!(!b.get(3));
+    }
+
+    #[test]
+    fn slice_and_concat_invert() {
+        let b = BitString::from_u64(0b1011_0010, 8);
+        let left = b.slice(0, 3);
+        let right = b.slice(3, 8);
+        assert_eq!(left.concat(&right), b);
+    }
+
+    #[test]
+    fn parse_binary_accepts_underscores() {
+        let b = BitString::parse_binary("10_10").unwrap();
+        assert_eq!(b.to_u64(), 0b1010);
+        assert!(BitString::parse_binary("10x").is_none());
+    }
+
+    #[test]
+    fn from_bytes_wire_order() {
+        let b = BitString::from_bytes(&[0x80, 0x01]);
+        assert!(b.get(0));
+        assert!(!b.get(1));
+        assert!(b.get(15));
+        assert_eq!(b.to_u64(), 0x8001);
+    }
+
+    #[test]
+    fn not_clears_tail_bits() {
+        let b = BitString::zeros(5).not();
+        assert_eq!(b.to_u64(), 0b11111);
+        assert_eq!(b.count_ones(), 5);
+    }
+
+    #[test]
+    fn push_extends() {
+        let mut b = BitString::empty();
+        for i in 0..130 {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.len(), 130);
+        assert!(b.get(0));
+        assert!(!b.get(1));
+        assert!(b.get(129).eq(&(129 % 3 == 0)));
+    }
+
+    #[test]
+    fn ones_and_zeros() {
+        assert_eq!(BitString::ones(7).count_ones(), 7);
+        assert_eq!(BitString::zeros(7).count_ones(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn get_out_of_range_panics() {
+        BitString::zeros(3).get(3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_u64_overflow_panics() {
+        BitString::from_u64(16, 4);
+    }
+
+    #[test]
+    fn u128_roundtrip_wide() {
+        let v = 0xdead_beef_cafe_babe_0123_4567_89ab_cdefu128;
+        let b = BitString::from_u128(v, 128);
+        assert_eq!(b.to_u128(), v);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_u64(v in any::<u64>(), extra in 0usize..4) {
+            let width = 64usize;
+            let _ = extra;
+            let b = BitString::from_u64(v, width);
+            prop_assert_eq!(b.to_u64(), v);
+        }
+
+        #[test]
+        fn prop_slice_concat(bits in proptest::collection::vec(any::<bool>(), 0..200), cut in 0usize..200) {
+            let b = BitString::from_bits(&bits);
+            let cut = cut.min(b.len());
+            let l = b.slice(0, cut);
+            let r = b.slice(cut, b.len());
+            prop_assert_eq!(l.concat(&r), b);
+        }
+
+        #[test]
+        fn prop_demorgan(bits_a in proptest::collection::vec(any::<bool>(), 1..100)) {
+            let a = BitString::from_bits(&bits_a);
+            let b = a.not();
+            prop_assert_eq!(a.and(&b).count_ones(), 0);
+            prop_assert_eq!(a.or(&b).count_ones(), a.len());
+            prop_assert_eq!(a.xor(&b).count_ones(), a.len());
+        }
+
+        #[test]
+        fn prop_display_parse_roundtrip(bits in proptest::collection::vec(any::<bool>(), 0..100)) {
+            let a = BitString::from_bits(&bits);
+            let s = a.to_string();
+            prop_assert_eq!(BitString::parse_binary(&s).unwrap(), a);
+        }
+    }
+}

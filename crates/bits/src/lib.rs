@@ -1,0 +1,53 @@
+//! # ph-bits
+//!
+//! Bit-level utilities shared by every ParserHawk crate.
+//!
+//! Packet parsers operate on raw bitstreams and match them against ternary
+//! (value/mask) patterns stored in TCAM entries.  This crate provides the two
+//! foundational types for that domain:
+//!
+//! * [`BitString`] — an arbitrary-length, MSB-first sequence of bits with
+//!   slicing, concatenation and integer conversions.  Used for input
+//!   bitstreams, extracted field values and transition keys.
+//! * [`Ternary`] — a value/mask pair implementing TCAM match semantics
+//!   (`key & mask == value & mask`), with cover/overlap/merge algebra used by
+//!   both the baseline compilers and the synthesis engine.
+//!
+//! The semantics follow §3.2 of the ParserHawk paper: a mask bit of `1` means
+//! *care*, `0` means *wildcard*.
+
+mod bitstring;
+mod ternary;
+
+pub use bitstring::BitString;
+pub use ternary::Ternary;
+
+/// Number of bits needed to represent values `0..=max` (at least 1).
+///
+/// Used throughout the synthesis encoding to size state-id and position
+/// bit-vectors.
+pub fn bits_for(max: u64) -> u32 {
+    if max <= 1 {
+        1
+    } else {
+        64 - max.leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_small_values() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 3);
+        assert_eq!(bits_for(7), 3);
+        assert_eq!(bits_for(8), 4);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+    }
+}

@@ -1,0 +1,352 @@
+//! Ternary (value/mask) patterns with TCAM match semantics.
+//!
+//! A TCAM entry stores a value `v` and mask `m` of equal width; a key `k`
+//! matches when `k & m == v & m` (§3.2, step 1 of the paper's code-generation
+//! pipeline).  A mask bit of `1` is a *care* bit, `0` a *wildcard*.
+//!
+//! The algebra implemented here (cover, overlap, merge, expansion) is exactly
+//! what the baseline compilers' entry-merging steps and ParserHawk's Opt4
+//! constant-synthesis candidate generation require.
+
+use crate::BitString;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A value/mask pattern of fixed width.
+///
+/// Wildcarded value bits are kept normalized to `0` so equal patterns compare
+/// equal structurally.
+///
+/// # Examples
+///
+/// ```
+/// use ph_bits::{BitString, Ternary};
+///
+/// // 1**0 — matches any 4-bit key starting with 1 and ending with 0.
+/// let t = Ternary::parse("1**0").unwrap();
+/// assert!(t.matches(&BitString::from_u64(0b1010, 4)));
+/// assert!(t.matches(&BitString::from_u64(0b1110, 4)));
+/// assert!(!t.matches(&BitString::from_u64(0b1011, 4)));
+/// assert_eq!(t.to_string(), "1**0");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ternary {
+    value: BitString,
+    mask: BitString,
+}
+
+impl Ternary {
+    /// Builds a pattern from `value` and `mask` of equal width.
+    /// Value bits under wildcard mask bits are normalized to zero.
+    pub fn new(value: BitString, mask: BitString) -> Self {
+        assert_eq!(value.len(), mask.len(), "value/mask width mismatch");
+        Ternary { value: value.and(&mask), mask }
+    }
+
+    /// An exact-match pattern (mask all ones).
+    pub fn exact(value: BitString) -> Self {
+        let mask = BitString::ones(value.len());
+        Ternary { value, mask }
+    }
+
+    /// An exact-match pattern from an integer.
+    pub fn exact_u64(value: u64, width: usize) -> Self {
+        Self::exact(BitString::from_u64(value, width))
+    }
+
+    /// The all-wildcard pattern of the given width (matches every key).
+    pub fn any(width: usize) -> Self {
+        Ternary { value: BitString::zeros(width), mask: BitString::zeros(width) }
+    }
+
+    /// Parses patterns like `"1**0"` where `*` is a wildcard bit.
+    /// Underscores are ignored; returns `None` on other characters.
+    pub fn parse(text: &str) -> Option<Self> {
+        let mut value = Vec::new();
+        let mut mask = Vec::new();
+        for c in text.chars() {
+            match c {
+                '0' => {
+                    value.push(false);
+                    mask.push(true);
+                }
+                '1' => {
+                    value.push(true);
+                    mask.push(true);
+                }
+                '*' => {
+                    value.push(false);
+                    mask.push(false);
+                }
+                '_' => {}
+                _ => return None,
+            }
+        }
+        Some(Ternary { value: BitString::from_bits(&value), mask: BitString::from_bits(&mask) })
+    }
+
+    /// Pattern width in bits.
+    pub fn width(&self) -> usize {
+        self.value.len()
+    }
+
+    /// The (normalized) value component.
+    pub fn value(&self) -> &BitString {
+        &self.value
+    }
+
+    /// The mask component (1 = care).
+    pub fn mask(&self) -> &BitString {
+        &self.mask
+    }
+
+    /// Number of wildcard bits.
+    pub fn wildcard_bits(&self) -> usize {
+        self.width() - self.mask.count_ones()
+    }
+
+    /// Number of concrete keys this pattern matches (`2^wildcards`), saturating.
+    pub fn match_count(&self) -> u128 {
+        1u128.checked_shl(self.wildcard_bits() as u32).unwrap_or(u128::MAX)
+    }
+
+    /// TCAM match: `key & mask == value & mask`.
+    pub fn matches(&self, key: &BitString) -> bool {
+        assert_eq!(key.len(), self.width(), "key width mismatch");
+        key.and(&self.mask) == self.value
+    }
+
+    /// True when every key matched by `other` is also matched by `self`.
+    ///
+    /// `self` covers `other` iff `self`'s care bits are a subset of `other`'s
+    /// and they agree on `self`'s care bits.
+    pub fn covers(&self, other: &Ternary) -> bool {
+        assert_eq!(self.width(), other.width());
+        // self.mask ⊆ other.mask: self.mask & other.mask == self.mask
+        if self.mask.and(&other.mask) != self.mask {
+            return false;
+        }
+        other.value.and(&self.mask) == self.value
+    }
+
+    /// True when at least one concrete key matches both patterns.
+    ///
+    /// Two patterns overlap unless they disagree on some bit both care about.
+    pub fn overlaps(&self, other: &Ternary) -> bool {
+        assert_eq!(self.width(), other.width());
+        let both = self.mask.and(&other.mask);
+        self.value.and(&both) == other.value.and(&both)
+    }
+
+    /// Tries to merge two patterns into one that matches exactly the union of
+    /// their match sets.  Succeeds when the patterns share the same mask and
+    /// differ in exactly one care bit (the classic prefix-merge used in
+    /// Fig. 4 step 1), or when one already covers the other.
+    pub fn merge(&self, other: &Ternary) -> Option<Ternary> {
+        assert_eq!(self.width(), other.width());
+        if self.covers(other) {
+            return Some(self.clone());
+        }
+        if other.covers(self) {
+            return Some(other.clone());
+        }
+        if self.mask != other.mask {
+            return None;
+        }
+        let diff = self.value.xor(&other.value);
+        if diff.count_ones() != 1 {
+            return None;
+        }
+        let mask = self.mask.and(&diff.not());
+        Some(Ternary::new(self.value.clone(), mask))
+    }
+
+    /// Enumerates every concrete key matching this pattern.
+    /// Panics if the pattern is wider than 64 bits or has more than 24
+    /// wildcard bits (guard against accidental explosion).
+    pub fn enumerate(&self) -> Vec<BitString> {
+        assert!(self.width() <= 64, "enumerate on wide pattern");
+        let wc: Vec<usize> =
+            (0..self.width()).filter(|&i| !self.mask.get(i)).collect();
+        assert!(wc.len() <= 24, "too many wildcards to enumerate");
+        let mut out = Vec::with_capacity(1 << wc.len());
+        for combo in 0u64..(1 << wc.len()) {
+            let mut key = self.value.clone();
+            for (j, &pos) in wc.iter().enumerate() {
+                key.set(pos, (combo >> j) & 1 == 1);
+            }
+            out.push(key);
+        }
+        out
+    }
+
+    /// Extracts the sub-pattern covering bits `[start, end)`.
+    pub fn slice(&self, start: usize, end: usize) -> Ternary {
+        Ternary { value: self.value.slice(start, end), mask: self.mask.slice(start, end) }
+    }
+
+    /// Concatenates two patterns.
+    pub fn concat(&self, other: &Ternary) -> Ternary {
+        Ternary {
+            value: self.value.concat(&other.value),
+            mask: self.mask.concat(&other.mask),
+        }
+    }
+}
+
+impl fmt::Display for Ternary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.width() {
+            let c = if !self.mask.get(i) {
+                '*'
+            } else if self.value.get(i) {
+                '1'
+            } else {
+                '0'
+            };
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Ternary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ternary({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(s: &str) -> Ternary {
+        Ternary::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["1**0", "0000", "****", "1", "01*"] {
+            assert_eq!(t(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn matches_paper_example() {
+        // 0b1**0 from §7's DPParserGen discussion.
+        let p = t("1**0");
+        for k in [0b1000u64, 0b1010, 0b1100, 0b1110] {
+            assert!(p.matches(&BitString::from_u64(k, 4)), "{k:b}");
+        }
+        for k in [0b0000u64, 0b1001, 0b0110, 0b1111] {
+            assert!(!p.matches(&BitString::from_u64(k, 4)), "{k:b}");
+        }
+    }
+
+    #[test]
+    fn value_normalized_under_wildcards() {
+        let a = Ternary::new(BitString::from_u64(0b1111, 4), BitString::from_u64(0b1001, 4));
+        let b = Ternary::new(BitString::from_u64(0b1001, 4), BitString::from_u64(0b1001, 4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn covers_relation() {
+        assert!(t("1**0").covers(&t("1010")));
+        assert!(t("****").covers(&t("1**0")));
+        assert!(!t("1**0").covers(&t("0010")));
+        assert!(!t("1010").covers(&t("1**0")));
+        assert!(t("1**0").covers(&t("1**0")));
+    }
+
+    #[test]
+    fn overlaps_relation() {
+        assert!(t("1**0").overlaps(&t("*01*")));
+        assert!(!t("1***").overlaps(&t("0***")));
+        assert!(t("****").overlaps(&t("1111")));
+    }
+
+    #[test]
+    fn merge_adjacent_values() {
+        // Merging the {15, 11, 7, 3} cluster from Fig. 3/4: 1111 and 1011
+        // merge to 1*11, then with 0111/0011 to **11.
+        let m1 = t("1111").merge(&t("1011")).unwrap();
+        assert_eq!(m1.to_string(), "1*11");
+        let m2 = t("0111").merge(&t("0011")).unwrap();
+        assert_eq!(m2.to_string(), "0*11");
+        let m3 = m1.merge(&m2).unwrap();
+        assert_eq!(m3.to_string(), "**11");
+    }
+
+    #[test]
+    fn merge_rejects_distance_two() {
+        assert!(t("0000").merge(&t("0011")).is_none());
+    }
+
+    #[test]
+    fn merge_via_cover() {
+        assert_eq!(t("1***").merge(&t("10*1")).unwrap().to_string(), "1***");
+    }
+
+    #[test]
+    fn enumerate_counts() {
+        assert_eq!(t("1**0").enumerate().len(), 4);
+        assert_eq!(t("1111").enumerate().len(), 1);
+        assert_eq!(t("**").enumerate().len(), 4);
+    }
+
+    #[test]
+    fn slice_concat_roundtrip() {
+        let p = t("1**0_01*1");
+        assert_eq!(p.slice(0, 4).concat(&p.slice(4, 8)), p);
+    }
+
+    #[test]
+    fn match_count_wide() {
+        assert_eq!(t("****").match_count(), 16);
+        assert_eq!(Ternary::any(130).match_count(), u128::MAX);
+    }
+
+    fn arb_ternary(width: usize) -> impl Strategy<Value = Ternary> {
+        proptest::collection::vec(prop_oneof![Just('0'), Just('1'), Just('*')], width)
+            .prop_map(|cs| Ternary::parse(&cs.iter().collect::<String>()).unwrap())
+    }
+
+    proptest! {
+        #[test]
+        fn prop_enumerate_all_match(p in arb_ternary(8)) {
+            for k in p.enumerate() {
+                prop_assert!(p.matches(&k));
+            }
+            prop_assert_eq!(p.enumerate().len() as u128, p.match_count());
+        }
+
+        #[test]
+        fn prop_covers_semantics(a in arb_ternary(6), b in arb_ternary(6)) {
+            let covers = a.covers(&b);
+            let all_covered = b.enumerate().iter().all(|k| a.matches(k));
+            prop_assert_eq!(covers, all_covered);
+        }
+
+        #[test]
+        fn prop_overlap_semantics(a in arb_ternary(6), b in arb_ternary(6)) {
+            let overlap = a.overlaps(&b);
+            let any_common = a.enumerate().iter().any(|k| b.matches(k));
+            prop_assert_eq!(overlap, any_common);
+        }
+
+        #[test]
+        fn prop_merge_is_exact_union(a in arb_ternary(6), b in arb_ternary(6)) {
+            if let Some(m) = a.merge(&b) {
+                // m matches exactly the union of a's and b's match sets
+                for k in m.enumerate() {
+                    prop_assert!(a.matches(&k) || b.matches(&k));
+                }
+                for k in a.enumerate().into_iter().chain(b.enumerate()) {
+                    prop_assert!(m.matches(&k));
+                }
+            }
+        }
+    }
+}

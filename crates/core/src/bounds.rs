@@ -1,0 +1,181 @@
+//! Unrolling and input-length bounds for the CEGIS encodings.
+//!
+//! The synthesis and verification formulas unroll the FSM for `K`
+//! iterations over inputs of exactly `L` bits.  Both bounds come from a
+//! longest-path computation over the product graph of (spec state × cursor
+//! position): every state visit that consumes no input and returns to the
+//! same position would make the spec unbounded, which is rejected.
+
+use ph_ir::{analysis, NextState, ParserSpec, StateId};
+
+/// Bounds governing one synthesis run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Bounds {
+    /// Verification input width in bits.
+    pub input_bits: usize,
+    /// Max spec state visits on any `input_bits`-bit input.
+    pub spec_iters: usize,
+    /// Max field extractions on any `input_bits`-bit input (the hardware
+    /// skeleton performs one extraction per state visit, so its unrolling
+    /// depth is `impl_iters`).
+    pub impl_iters: usize,
+}
+
+/// Bits consumed by one visit of state `s` (max widths).
+fn state_consumption(spec: &ParserSpec, s: StateId) -> usize {
+    spec.state(s).extracts.iter().map(|&f| spec.field(f).width).sum()
+}
+
+/// Longest path in the (state, position) product graph starting from
+/// `(start, 0)`, with two weights: state visits and field extractions.
+/// Returns `None` when a zero-consumption cycle is reachable (the spec can
+/// loop forever on a finite input).
+fn product_longest_path(spec: &ParserSpec, max_bits: usize) -> Option<(usize, usize)> {
+    let n = spec.states.len();
+    // memo[(s, pos)] = (visits, extractions) on the longest suffix.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        Unvisited,
+        InProgress,
+        Done(usize, usize),
+    }
+    let mut memo = vec![Mark::Unvisited; n * (max_bits + 1)];
+
+    fn go(
+        spec: &ParserSpec,
+        s: StateId,
+        pos: usize,
+        max_bits: usize,
+        memo: &mut [Mark],
+    ) -> Option<(usize, usize)> {
+        let idx = s.0 * (max_bits + 1) + pos;
+        match memo[idx] {
+            Mark::Done(v, e) => return Some((v, e)),
+            Mark::InProgress => return None, // zero-consumption cycle
+            Mark::Unvisited => {}
+        }
+        memo[idx] = Mark::InProgress;
+
+        let consumed = state_consumption(spec, s);
+        let next_pos = pos + consumed;
+        let extractions = spec.state(s).extracts.len();
+
+        let mut best = (1usize, extractions);
+        if next_pos <= max_bits {
+            let st = spec.state(s);
+            let nexts = st
+                .transitions
+                .iter()
+                .map(|t| t.next)
+                .chain(std::iter::once(st.default));
+            for nx in nexts {
+                if let NextState::State(t) = nx {
+                    // Successor must still be able to run; if it cannot even
+                    // start extracting, the run ends there (OutOfInput), so
+                    // only recurse while within the input.
+                    let (v, e) = go(spec, t, next_pos, max_bits, memo)?;
+                    best.0 = best.0.max(1 + v);
+                    best.1 = best.1.max(extractions + e);
+                }
+            }
+        }
+        memo[idx] = Mark::Done(best.0, best.1);
+        Some(best)
+    }
+
+    go(spec, spec.start, 0, max_bits, &mut memo)
+}
+
+/// Computes the unrolling bounds for `spec`.
+///
+/// `loop_cap` seeds the input-length estimate for loopy specifications (the
+/// fixpoint converges in a few rounds).
+///
+/// # Errors
+///
+/// Returns a message when the spec has a zero-consumption cycle.
+pub fn compute_bounds(spec: &ParserSpec, loop_cap: usize) -> Result<Bounds, String> {
+    // Seed the input length from a capped iteration count, then fix up.
+    let mut input_bits = analysis::max_bits_consumed(spec, loop_cap.max(4));
+    for _ in 0..4 {
+        let (visits, _) = product_longest_path(spec, input_bits)
+            .ok_or_else(|| "spec has a zero-consumption loop".to_string())?;
+        let l2 = analysis::max_bits_consumed(spec, visits);
+        if l2 <= input_bits {
+            break;
+        }
+        input_bits = l2;
+    }
+    let (spec_iters, extractions) = product_longest_path(spec, input_bits)
+        .ok_or_else(|| "spec has a zero-consumption loop".to_string())?;
+    Ok(Bounds {
+        input_bits,
+        spec_iters,
+        // +2: the skeleton's synthetic entry state and the final
+        // accept/reject transition.
+        impl_iters: extractions + 2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ph_bits::Ternary;
+    use ph_ir::{Field, FieldId, KeyPart, State, StateId, Transition};
+
+    fn two_state(loopy: bool) -> ParserSpec {
+        ParserSpec {
+            fields: vec![Field::fixed("a", 4), Field::fixed("b", 4)],
+            states: vec![
+                State {
+                    name: "s0".into(),
+                    extracts: vec![FieldId(0)],
+                    key: vec![KeyPart::Slice { field: FieldId(0), start: 0, end: 1 }],
+                    transitions: vec![Transition {
+                        pattern: Ternary::parse("1").unwrap(),
+                        next: if loopy {
+                            ph_ir::NextState::State(StateId(0))
+                        } else {
+                            ph_ir::NextState::State(StateId(1))
+                        },
+                    }],
+                    default: ph_ir::NextState::Accept,
+                },
+                State {
+                    name: "s1".into(),
+                    extracts: vec![FieldId(1)],
+                    key: vec![],
+                    transitions: vec![],
+                    default: ph_ir::NextState::Accept,
+                },
+            ],
+            start: StateId(0),
+        }
+    }
+
+    #[test]
+    fn loop_free_bounds() {
+        let b = compute_bounds(&two_state(false), 8).unwrap();
+        assert_eq!(b.input_bits, 8);
+        assert_eq!(b.spec_iters, 2);
+        assert_eq!(b.impl_iters, 4);
+    }
+
+    #[test]
+    fn loopy_bounds_grow_with_cap() {
+        let b4 = compute_bounds(&two_state(true), 4).unwrap();
+        let b8 = compute_bounds(&two_state(true), 8).unwrap();
+        assert!(b8.input_bits > b4.input_bits);
+        assert!(b8.spec_iters > b4.spec_iters);
+        // A loop consuming 4 bits per visit: visits bounded by L/4 + 1.
+        assert!(b8.spec_iters <= b8.input_bits / 4 + 1);
+    }
+
+    #[test]
+    fn zero_consumption_loop_rejected() {
+        let mut spec = two_state(true);
+        spec.states[0].extracts.clear(); // loop consumes nothing
+        spec.states[0].key = vec![KeyPart::Lookahead { start: 0, end: 1 }];
+        assert!(compute_bounds(&spec, 8).is_err());
+    }
+}

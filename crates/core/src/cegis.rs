@@ -1,0 +1,468 @@
+//! The CEGIS loop (Fig. 13) with resource-budget descent.
+//!
+//! One incremental SMT instance holds the skeleton variables, the device's
+//! structural constraints, and one simulation-equality constraint per
+//! accumulated test case.  Budgets (total TCAM entries for single-table
+//! devices, pipeline stages for pipelined ones) are *assumptions*, so the
+//! same instance serves the whole minimization descent: each verified
+//! candidate tightens the budget and the loop re-enters synthesis; an UNSAT
+//! under the tightened assumption proves the previous candidate minimal
+//! over this skeleton.
+
+use crate::bounds::{compute_bounds, Bounds};
+use crate::encode::encode_impl;
+use crate::post;
+use crate::reduce::reduce_spec;
+use crate::skeleton::{self, build_shape, build_vars, ConcreteSkel, Shape};
+use crate::specenc::{encode_spec_paths, mismatch_term};
+use crate::validate;
+use crate::{OptConfig, SynthError, SynthOutput, SynthParams, SynthStats};
+use ph_bits::BitString;
+use ph_hw::DeviceProfile;
+use ph_ir::{analysis, NextState, ParseStatus, ParserSpec, StateId};
+use ph_smt::{Smt, SmtResult, Term};
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which skeleton family to synthesize (Opt7.1 races both).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LoopMode {
+    /// Loopy for loopy specs on loop-capable devices, loop-free otherwise.
+    Auto,
+    /// Force the loop-free (DAG) skeleton.
+    LoopFree,
+    /// Force the loop-aware skeleton (single-table devices only).
+    Loopy,
+}
+
+/// Spec-level loop unrolling for devices that cannot revisit entries:
+/// duplicates states per depth level up to `depth` and redirects back-edges
+/// downward.  Equivalent on every input the bounded verification covers.
+pub fn unroll_spec(spec: &ParserSpec, depth: usize) -> ParserSpec {
+    let n = spec.states.len();
+    let mut out = spec.clone();
+    out.states = Vec::with_capacity(n * depth);
+    // Level d state i lives at index d*n + i.
+    for d in 0..depth {
+        for (i, st) in spec.states.iter().enumerate() {
+            let mut copy = st.clone();
+            copy.name = format!("{}@{d}", st.name);
+            let redirect = |nx: NextState| match nx {
+                NextState::State(t) if d + 1 < depth => NextState::State(StateId((d + 1) * n + t.0)),
+                NextState::State(_) => NextState::Reject, // depth exhausted
+                other => other,
+            };
+            for tr in copy.transitions.iter_mut() {
+                tr.next = redirect(tr.next);
+            }
+            copy.default = redirect(copy.default);
+            let _ = i;
+            out.states.push(copy);
+        }
+    }
+    out.start = StateId(spec.start.0);
+    prune(&out)
+}
+
+/// Drops unreachable states (the unrolled product is mostly unreachable).
+fn prune(spec: &ParserSpec) -> ParserSpec {
+    let reach = analysis::reachable_states(spec);
+    let mut map = vec![usize::MAX; spec.states.len()];
+    for (new, s) in reach.iter().enumerate() {
+        map[s.0] = new;
+    }
+    let remap = |n: NextState| match n {
+        NextState::State(s) => NextState::State(StateId(map[s.0])),
+        other => other,
+    };
+    let states = reach
+        .iter()
+        .map(|&s| {
+            let mut st = spec.state(s).clone();
+            for tr in st.transitions.iter_mut() {
+                tr.next = remap(tr.next);
+            }
+            st.default = remap(st.default);
+            st
+        })
+        .collect();
+    ParserSpec { fields: spec.fields.clone(), states, start: StateId(map[spec.start.0]) }
+}
+
+/// Watchdog that trips an interrupt flag at a wall-clock deadline.
+struct Watchdog {
+    done: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    fn arm(flag: Arc<AtomicBool>, deadline: Option<Instant>) -> Watchdog {
+        let done = Arc::new(AtomicBool::new(false));
+        let handle = deadline.map(|dl| {
+            let done = done.clone();
+            std::thread::spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    if Instant::now() >= dl {
+                        flag.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+            })
+        });
+        Watchdog { done, handle }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.done.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Runs one full synthesis (no Opt7 racing).  `interrupt` cancels the run
+/// cooperatively (a losing race branch).
+pub fn synthesize_one(
+    spec: &ParserSpec,
+    device: &DeviceProfile,
+    opts: OptConfig,
+    params: &SynthParams,
+    mode: LoopMode,
+    interrupt: Option<Arc<AtomicBool>>,
+) -> Result<SynthOutput, SynthError> {
+    let t0 = Instant::now();
+    let flag = interrupt.unwrap_or_else(|| Arc::new(AtomicBool::new(false)));
+    let deadline = params.timeout.map(|d| t0 + d);
+    let _watchdog = Watchdog::arm(flag.clone(), deadline);
+
+    // Decide the skeleton family and possibly unroll the spec.
+    let spec_loopy = !analysis::is_loop_free(spec);
+    let loopy = match mode {
+        LoopMode::LoopFree => false,
+        LoopMode::Loopy => {
+            if !device.allows_loops() {
+                return Err(SynthError::Unsupported(
+                    "loop-aware skeletons need a single-table device".into(),
+                ));
+            }
+            true
+        }
+        LoopMode::Auto => spec_loopy && device.allows_loops(),
+    };
+    let working_spec = if spec_loopy && !loopy {
+        // Loop-free compilation of a loopy spec: unroll to the configured
+        // header-instance budget first (what ParserHawk does internally for
+        // the IPU; a pipelined device can only ever support a bounded
+        // stack, so correctness is judged against the unrolled spec).
+        unroll_spec(spec, params.max_loop_iters)
+    } else {
+        spec.clone()
+    };
+
+    let reduced = reduce_spec(&working_spec, opts).map_err(SynthError::Unsupported)?;
+    let bounds =
+        compute_bounds(&reduced.spec, params.max_loop_iters).map_err(SynthError::Unsupported)?;
+    let shape = build_shape(&reduced, device, opts, loopy, params.spare_states)
+        .map_err(SynthError::Unsupported)?;
+
+    run_cegis(&working_spec, &reduced.spec, &shape, device, params, bounds, flag, t0)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_cegis(
+    orig_spec: &ParserSpec,
+    red_spec: &ParserSpec,
+    shape: &Shape,
+    device: &DeviceProfile,
+    params: &SynthParams,
+    bounds: Bounds,
+    flag: Arc<AtomicBool>,
+    t0: Instant,
+) -> Result<SynthOutput, SynthError> {
+    let mut stats = SynthStats::default();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(params.seed);
+    let l = bounds.input_bits.max(1);
+    let k_impl = shape_k(shape, &bounds);
+    let k_spec = bounds.spec_iters + 1;
+
+    let mut smt = Smt::new();
+    smt.set_interrupt(Some(flag.clone()));
+    let vars = build_vars(&mut smt, shape, device);
+    stats.search_space_bits = vars.search_space_bits;
+
+    // Initial test cases: all-zeros plus two random inputs.
+    let add_test = |smt: &mut Smt, input: &BitString, stats: &mut SynthStats| {
+        let expect = ph_ir::simulate(red_spec, input, k_spec + 2);
+        debug_assert!(expect.status != ParseStatus::IterationBudget);
+        let it = smt.const_bits(input.clone());
+        let out = encode_impl(smt, shape, &vars.terms, it, k_impl);
+        let sbits = shape.state_bits();
+        let want = smt.const_u64(
+            match expect.status {
+                ParseStatus::Accept => shape.accept_code() as u64,
+                ParseStatus::Reject => shape.reject_code() as u64,
+                _ => shape.ooi_code() as u64,
+            },
+            sbits,
+        );
+        let c = smt.eq(out.status, want);
+        smt.assert(c);
+        for (f, w) in shape.field_widths.iter().enumerate() {
+            match expect.dict.get(ph_ir::FieldId(f)) {
+                Some(v) => {
+                    smt.assert(out.defined[f]);
+                    debug_assert_eq!(v.len(), (*w).max(1));
+                    let vc = smt.const_bits(v.clone());
+                    let c = smt.eq(out.values[f], vc);
+                    smt.assert(c);
+                }
+                None => {
+                    let nd = smt.not(out.defined[f]);
+                    smt.assert(nd);
+                }
+            }
+        }
+        stats.test_cases += 1;
+    };
+
+    let mut initial = vec![BitString::zeros(l)];
+    for _ in 0..2 {
+        let mut b = BitString::zeros(l);
+        for i in 0..l {
+            b.set(i, rng.gen_bool(0.5));
+        }
+        initial.push(b);
+    }
+    for t in &initial {
+        add_test(&mut smt, t, &mut stats);
+    }
+
+    // Budget descent: single-table devices minimize total TCAM entries;
+    // pipelined devices minimize stages first, then entries with the stage
+    // count pinned (the Table 3 quality metrics).
+    let single_table = device.arch == ph_hw::Arch::SingleTable;
+    #[derive(PartialEq)]
+    enum MinPhase {
+        Stages,
+        Entries,
+    }
+    let mut phase = if single_table { MinPhase::Entries } else { MinPhase::Stages };
+    let mut stage_cap: Option<u64> = None;
+    let mut entry_cap: Option<u64> = None;
+    let mut best: Option<ConcreteSkel> = None;
+
+    'outer: loop {
+        stats.budget_levels += 1;
+        let mut assumptions: Vec<Term> = Vec::new();
+        if let Some(b) = stage_cap {
+            let stages = vars.stage.as_ref().expect("pipelined device has stages");
+            let stb = smt.width(stages[0]);
+            let bc = smt.const_u64(b, stb);
+            for &s in stages.iter() {
+                assumptions.push(smt.ule(s, bc));
+            }
+        }
+        if let Some(b) = entry_cap {
+            let bc = smt.const_u64(b, vars.count_bits);
+            assumptions.push(smt.ule(vars.active_count, bc));
+        }
+
+        // Inner CEGIS at this budget.
+        for _iter in 0..params.max_cegis_iters {
+            if flag.load(Ordering::Relaxed) {
+                stats.wall = t0.elapsed();
+                return finish_or_timeout(best, shape, orig_spec, device, params, stats);
+            }
+            stats.cegis_iterations += 1;
+            match smt.check_assuming(&assumptions) {
+                SmtResult::Unsat => {
+                    let Some(b) = &best else {
+                        return Err(SynthError::Infeasible(
+                            "no implementation within the device's resources for this skeleton"
+                                .into(),
+                        ));
+                    };
+                    if phase == MinPhase::Stages {
+                        // Stage count is minimal; pin it and minimize
+                        // entries next.
+                        phase = MinPhase::Entries;
+                        stage_cap = Some(skeleton::stages_used(b) as u64 - 1);
+                        entry_cap = Some(skeleton::entry_count(b) as u64 - 1);
+                        continue 'outer;
+                    }
+                    break 'outer; // entry descent complete
+                }
+                SmtResult::Unknown => {
+                    break 'outer; // interrupted / budget exhausted
+                }
+                SmtResult::Sat => {}
+            }
+            let candidate = skeleton::extract_model(&mut smt, shape, &vars);
+
+            // Verification phase: fresh solver, constant skeleton.
+            match verify_candidate(shape, red_spec, &candidate, l, k_impl, k_spec, &flag)? {
+                Verdict::Unknown => {
+                    break 'outer;
+                }
+                Verdict::Counterexample(cex) => {
+                    add_test(&mut smt, &cex, &mut stats);
+                }
+                Verdict::Verified => {
+                    // Verified: record and tighten the active budget.
+                    match phase {
+                        MinPhase::Stages => {
+                            let used = skeleton::stages_used(&candidate) as u64;
+                            let entries = skeleton::entry_count(&candidate) as u64;
+                            best = Some(candidate);
+                            if used <= 1 {
+                                phase = MinPhase::Entries;
+                                stage_cap = Some(0);
+                                entry_cap = Some(entries.saturating_sub(1));
+                            } else {
+                                stage_cap = Some(used - 2);
+                            }
+                        }
+                        MinPhase::Entries => {
+                            let used = skeleton::entry_count(&candidate) as u64;
+                            best = Some(candidate);
+                            if used == 0 {
+                                break 'outer;
+                            }
+                            entry_cap = Some(used - 1);
+                        }
+                    }
+                    continue 'outer;
+                }
+            }
+        }
+        // CEGIS iteration cap hit at this budget: settle for what we have.
+        break;
+    }
+
+    // Mask shrinking: clearing an entry's mask turns it into a catch-all,
+    // which lets the post-synthesis chain merger absorb trivial states.
+    // Each proposal is re-verified symbolically, so the pass is sound.
+    if let Some(conc) = best.take() {
+        best = Some(shrink_masks(shape, red_spec, conc, l, k_impl, k_spec, &flag)?);
+    }
+
+    stats.wall = t0.elapsed();
+    finish_or_timeout(best, shape, orig_spec, device, params, stats)
+}
+
+/// Outcome of one symbolic verification.
+enum Verdict {
+    Verified,
+    Counterexample(BitString),
+    Unknown,
+}
+
+/// Checks a concrete skeleton against every spec path symbolically.
+fn verify_candidate(
+    shape: &Shape,
+    red_spec: &ParserSpec,
+    candidate: &ConcreteSkel,
+    l: usize,
+    k_impl: usize,
+    k_spec: usize,
+    flag: &Arc<AtomicBool>,
+) -> Result<Verdict, SynthError> {
+    let mut vsmt = Smt::new();
+    vsmt.set_interrupt(Some(flag.clone()));
+    let input = vsmt.var("I", l as u32);
+    let terms = skeleton::concrete_terms(&mut vsmt, shape, candidate);
+    let out = encode_impl(&mut vsmt, shape, &terms, input, k_impl);
+    let paths = encode_spec_paths(&mut vsmt, red_spec, input, k_spec + 2, 1 << 16)
+        .map_err(SynthError::Unsupported)?;
+    let bad = mismatch_term(
+        &mut vsmt,
+        &paths,
+        input,
+        out.status,
+        &out.defined,
+        &out.values,
+        shape.accept_code() as u64,
+        shape.reject_code() as u64,
+        shape.ooi_code() as u64,
+    );
+    vsmt.assert(bad);
+    Ok(match vsmt.check() {
+        SmtResult::Unsat => Verdict::Verified,
+        SmtResult::Sat => Verdict::Counterexample(vsmt.model_value(input)),
+        SmtResult::Unknown => Verdict::Unknown,
+    })
+}
+
+/// Tries to clear each entry's mask (making it a catch-all), keeping each
+/// change only when the program still verifies.
+fn shrink_masks(
+    shape: &Shape,
+    red_spec: &ParserSpec,
+    mut conc: ConcreteSkel,
+    l: usize,
+    k_impl: usize,
+    k_spec: usize,
+    flag: &Arc<AtomicBool>,
+) -> Result<ConcreteSkel, SynthError> {
+    for s in 0..conc.entries.len() {
+        for j in 0..conc.entries[s].len() {
+            if conc.entries[s][j].mask.count_ones() == 0 {
+                continue;
+            }
+            if flag.load(Ordering::Relaxed) {
+                return Ok(conc);
+            }
+            let mut trial = conc.clone();
+            trial.entries[s][j].mask = BitString::zeros(shape.canon_width);
+            trial.entries[s][j].value = BitString::zeros(shape.canon_width);
+            if matches!(
+                verify_candidate(shape, red_spec, &trial, l, k_impl, k_spec, flag)?,
+                Verdict::Verified
+            ) {
+                conc = trial;
+            }
+        }
+    }
+    Ok(conc)
+}
+
+/// Unrolling depth for the implementation machine.
+fn shape_k(shape: &Shape, bounds: &Bounds) -> usize {
+    if shape.loopy {
+        // One slot visit per extraction run: spec visits x runs-per-visit,
+        // plus the entry state and the final transition.
+        (bounds.spec_iters * shape.max_runs_per_state.max(1) + 2).min(bounds.impl_iters.max(3))
+    } else {
+        // A DAG machine visits each state at most once.
+        shape.state_count() + 1
+    }
+}
+
+fn finish_or_timeout(
+    best: Option<ConcreteSkel>,
+    shape: &Shape,
+    orig_spec: &ParserSpec,
+    device: &DeviceProfile,
+    params: &SynthParams,
+    stats: SynthStats,
+) -> Result<SynthOutput, SynthError> {
+    let Some(conc) = best else {
+        return Err(SynthError::Timeout(stats));
+    };
+    let mut program = skeleton::to_program(shape, &conc, device);
+    post::optimize(&mut program, device, &orig_spec.fields);
+    validate::check_program_against_spec(orig_spec, &program, params.seed, 400)
+        .map_err(SynthError::ValidationFailed)?;
+    let violations = ph_hw::check_program(&program, &orig_spec.fields);
+    if !violations.is_empty() {
+        return Err(SynthError::Infeasible(
+            violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("; "),
+        ));
+    }
+    Ok(SynthOutput { program, stats })
+}

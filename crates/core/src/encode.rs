@@ -1,0 +1,367 @@
+//! The generic FSM-simulation encoding — φ_common of Fig. 9.
+//!
+//! [`encode_impl`] unrolls the skeleton machine for `K` iterations over an
+//! input term of `L` bits and returns terms for the final status, the
+//! per-field defined flags and the per-field values.  The same function
+//! serves both CEGIS phases: during synthesis the input is a *constant*
+//! (a test case) and the skeleton terms are variables; during verification
+//! the input is a variable and the skeleton terms are constants.  Constant
+//! folding in the term pool specializes each case automatically.
+
+use crate::skeleton::{GroupSource, Shape, SkelTerms};
+use ph_bits::bits_for;
+use ph_smt::{Smt, Term};
+use std::collections::HashMap;
+
+/// Terms describing the machine's final configuration.
+pub struct ImplOutcome {
+    /// Final state code (compare against accept/reject codes).
+    pub status: Term,
+    /// Per-field (by `FieldId` index) defined flags.
+    pub defined: Vec<Term>,
+    /// Per-field values (reduced widths).
+    pub values: Vec<Term>,
+}
+
+/// Unrolls the skeleton over `input` (width `L`) for `k` iterations.
+pub fn encode_impl(
+    smt: &mut Smt,
+    shape: &Shape,
+    terms: &SkelTerms,
+    input: Term,
+    k: usize,
+) -> ImplOutcome {
+    let l = smt.width(input) as usize;
+    let s_count = shape.state_count();
+    let n_slots = shape.slots.len();
+    let sbits = shape.state_bits();
+    let ebits = shape.ext_bits();
+    let kw = shape.canon_width as u32;
+    let pbits = bits_for(l.max(1) as u64);
+    let acc = smt.const_u64(shape.accept_code() as u64, sbits);
+    let ooi = smt.const_u64(shape.ooi_code() as u64, sbits);
+    let rej = smt.const_u64(shape.reject_code() as u64, sbits);
+
+    let num_fields = shape.field_widths.len();
+    let mut cur = smt.const_u64(0, sbits);
+    let mut pos = smt.const_u64(0, pbits);
+    let mut defined: Vec<Term> = (0..num_fields).map(|_| smt.ff()).collect();
+    let mut values: Vec<Term> = shape
+        .field_widths
+        .iter()
+        .map(|&w| smt.const_u64(0, w.max(1) as u32))
+        .collect();
+
+    for _l in 0..k {
+        let halted = smt.ule(acc, cur);
+
+        // --- group values (shared across states) -----------------------
+        let mut group_vals = Vec::with_capacity(shape.groups.len());
+        for grp in &shape.groups {
+            let gv = match grp.source {
+                GroupSource::Slice { field, start, end } => {
+                    let v = smt.extract(values[field.0], start as u32, end as u32);
+                    let z = smt.const_u64(0, (end - start) as u32);
+                    smt.ite(defined[field.0], v, z)
+                }
+                GroupSource::Lookahead { start, end } => {
+                    lookahead_at(smt, input, &pos, pbits, start, end, l)
+                }
+            };
+            group_vals.push(gv);
+        }
+
+        // --- per-state key and first-match next ------------------------
+        // next = mux over current state of the state's first-match target.
+        let mut next = rej;
+        for s in (0..s_count).rev() {
+            // Canonical key: allocated groups contribute, others read zero.
+            let mut key: Option<Term> = None;
+            for (g, grp) in shape.groups.iter().enumerate() {
+                let z = smt.const_u64(0, grp.width as u32);
+                let part = smt.ite(terms.alloc[s][g], group_vals[g], z);
+                key = Some(match key {
+                    None => part,
+                    Some(acc_k) => smt.concat(acc_k, part),
+                });
+            }
+            let key = key.unwrap_or_else(|| smt.const_u64(0, kw));
+
+            // First-match over the entry list (reverse fold).
+            let mut sn = rej;
+            for e in terms.entries[s].iter().rev() {
+                let km = smt.and(key, e.mask);
+                let vm = smt.and(e.value, e.mask);
+                let hit = smt.eq(km, vm);
+                let m = smt.and(e.active, hit);
+                sn = smt.ite(m, e.next, sn);
+            }
+            let sc = smt.const_u64(s as u64, sbits);
+            let here = smt.eq(cur, sc);
+            next = smt.ite(here, sn, next);
+        }
+
+        // --- extraction on entering a slot state ------------------------
+        // A slot extracts its whole field run; cache the position-muxed
+        // input slice per (offset-within-run, width) pair.
+        let mut slice_cache: HashMap<(usize, usize), Term> = HashMap::new();
+        let mut new_pos = pos;
+        let mut ooi_flag = smt.ff();
+        let mut new_defined = defined.clone();
+        let mut new_values = values.clone();
+        for t in 1..s_count {
+            let tc = smt.const_u64(t as u64, sbits);
+            let entered = smt.eq(next, tc);
+            for slot in 1..=n_slots {
+                let slot_c = smt.const_u64(slot as u64, ebits);
+                let chosen = smt.eq(terms.ext_sel[t], slot_c);
+                let sel = smt.and(entered, chosen);
+                let run = &shape.slots[slot - 1];
+                let total: usize =
+                    run.iter().map(|f| shape.field_widths[f.0].max(1)).sum();
+
+                // Per-field fit gating: the machine extracts a run field by
+                // field and keeps partial results when it runs out of input
+                // (the OutOfInput semantics), so each field is written iff
+                // its own slice still fits.  Fit is monotone along the run.
+                let mut off = 0usize;
+                for f in run {
+                    let w = shape.field_widths[f.0].max(1);
+                    if off + w > l {
+                        break; // this and all later fields can never fit
+                    }
+                    let maxp = smt.const_u64((l - off - w) as u64, pbits);
+                    let fits_f = smt.ule(pos, maxp);
+                    let ok = smt.and(sel, fits_f);
+                    let extracted = match slice_cache.get(&(off, w)) {
+                        Some(&cached) => cached,
+                        None => {
+                            // Mux over every position at which this field's
+                            // slice still fits (covers any run sharing the
+                            // same offset/width, so the cache is sound).
+                            let mut v = smt.const_u64(0, w as u32);
+                            for p in (0..=(l - off - w)).rev() {
+                                let pc = smt.const_u64(p as u64, pbits);
+                                let at = smt.eq(pos, pc);
+                                let sl = smt
+                                    .extract(input, (p + off) as u32, (p + off + w) as u32);
+                                v = smt.ite(at, sl, v);
+                            }
+                            slice_cache.insert((off, w), v);
+                            v
+                        }
+                    };
+                    new_values[f.0] = smt.ite(ok, extracted, new_values[f.0]);
+                    let tt = smt.tt();
+                    new_defined[f.0] = smt.ite(ok, tt, new_defined[f.0]);
+                    off += w;
+                }
+                // The whole-run fit decides between advancing and OOI.
+                if total > l {
+                    ooi_flag = smt.or(ooi_flag, sel);
+                } else {
+                    let maxp = smt.const_u64((l - total) as u64, pbits);
+                    let fits = smt.ule(pos, maxp);
+                    let nofit = smt.not(fits);
+                    let bad = smt.and(sel, nofit);
+                    ooi_flag = smt.or(ooi_flag, bad);
+                    let ok = smt.and(sel, fits);
+                    let wc = smt.const_u64(total as u64, pbits);
+                    let adv = smt.add(pos, wc);
+                    new_pos = smt.ite(ok, adv, new_pos);
+                }
+            }
+        }
+
+        // --- commit, with halting absorption ----------------------------
+        let stepped = smt.ite(ooi_flag, ooi, next);
+        cur = smt.ite(halted, cur, stepped);
+        pos = smt.ite(halted, pos, new_pos);
+        for f in 0..num_fields {
+            defined[f] = smt.ite(halted, defined[f], new_defined[f]);
+            values[f] = smt.ite(halted, values[f], new_values[f]);
+        }
+    }
+
+    ImplOutcome { status: cur, defined, values }
+}
+
+/// The value of lookahead bits `[start, end)` past a symbolic cursor:
+/// a mux over every cursor position, with bits beyond the input reading
+/// zero (hardware padding).
+fn lookahead_at(
+    smt: &mut Smt,
+    input: Term,
+    pos: &Term,
+    pbits: u32,
+    start: usize,
+    end: usize,
+    l: usize,
+) -> Term {
+    let w = end - start;
+    let mut v = smt.const_u64(0, w as u32);
+    for p in (0..=l).rev() {
+        let lo = (p + start).min(l);
+        let hi = (p + end).min(l);
+        let bits = if lo < hi {
+            let head = smt.extract(input, lo as u32, hi as u32);
+            if hi - lo < w {
+                let pad = smt.const_u64(0, (w - (hi - lo)) as u32);
+                smt.concat(head, pad)
+            } else {
+                head
+            }
+        } else {
+            smt.const_u64(0, w as u32)
+        };
+        let pc = smt.const_u64(p as u64, pbits);
+        let at = smt.eq(*pos, pc);
+        v = smt.ite(at, bits, v);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce::reduce_spec;
+    use crate::skeleton::{build_shape, concrete_terms, ConcreteEntry, ConcreteSkel};
+    use crate::OptConfig;
+    use ph_bits::BitString;
+    use ph_hw::DeviceProfile;
+    use ph_p4f::parse_parser;
+
+    /// Hand-build the Fig. 7 Impl2 as a concrete skeleton and check the
+    /// encoding's outputs against the spec simulator on all inputs.
+    #[test]
+    fn encoding_matches_simulator_on_concrete_skeleton() {
+        let spec = parse_parser(
+            r#"
+            header h_t { f0 : 4; f1 : 4; }
+            parser {
+                state start {
+                    extract(h_t.f0);
+                    transition select(h_t.f0[0:1]) {
+                        0b0 : s1;
+                        default : accept;
+                    }
+                }
+                state s1 { extract(h_t.f1); transition accept; }
+            }
+            "#,
+        )
+        .unwrap();
+        let opts = OptConfig::all();
+        let red = reduce_spec(&spec, opts).unwrap();
+        let dev = DeviceProfile::tofino();
+        let shape = build_shape(&red, &dev, opts, false, None).unwrap();
+        assert_eq!(shape.slots.len(), 2);
+        assert_eq!(shape.canon_width, 1);
+
+        // Concrete skeleton: entry -> slot1 (extract f0); slot1 keys on the
+        // group (f0 bit 0): 0 -> slot2 (extract f1), else accept; slot2
+        // always accepts.
+        let acc = shape.accept_code();
+        let conc = ConcreteSkel {
+            alloc: vec![vec![false], vec![true], vec![false]],
+            entries: vec![
+                vec![ConcreteEntry {
+                    value: BitString::zeros(1),
+                    mask: BitString::zeros(1),
+                    next: 1,
+                }],
+                vec![
+                    ConcreteEntry {
+                        value: BitString::from_u64(0, 1),
+                        mask: BitString::from_u64(1, 1),
+                        next: 2,
+                    },
+                    ConcreteEntry {
+                        value: BitString::zeros(1),
+                        mask: BitString::zeros(1),
+                        next: acc,
+                    },
+                ],
+                vec![ConcreteEntry {
+                    value: BitString::zeros(1),
+                    mask: BitString::zeros(1),
+                    next: acc,
+                }],
+            ],
+            ext: vec![0, 1, 2],
+            stage: vec![0, 0, 0],
+        };
+
+        for val in 0..=255u64 {
+            let input = BitString::from_u64(val, 8);
+            let expect = ph_ir::simulate(&red.spec, &input, 8);
+            let mut smt = Smt::new();
+            let terms = concrete_terms(&mut smt, &shape, &conc);
+            let it = smt.const_bits(input.clone());
+            let out = encode_impl(&mut smt, &shape, &terms, it, 4);
+            assert!(smt.check().is_sat());
+            let status = smt.model_u64(out.status) as usize;
+            assert_eq!(
+                status == shape.accept_code(),
+                expect.status == ph_ir::ParseStatus::Accept,
+                "input {input}"
+            );
+            for f in 0..2 {
+                let fid = ph_ir::FieldId(f);
+                let def = smt.model_bool(out.defined[f]);
+                assert_eq!(def, expect.dict.get(fid).is_some(), "defined f{f} input {input}");
+                if def {
+                    let v = smt.model_value(out.values[f]);
+                    assert_eq!(&v, expect.dict.get(fid).unwrap(), "value f{f} input {input}");
+                }
+            }
+        }
+    }
+
+    /// A skeleton that extracts past the end of the input must land in the
+    /// out-of-input status, not accept.
+    #[test]
+    fn over_extraction_is_flagged() {
+        let spec = parse_parser(
+            r#"
+            header h_t { f0 : 4; }
+            parser {
+                state start { extract(h_t); transition accept; }
+            }
+            "#,
+        )
+        .unwrap();
+        // Keep full field widths (Opt2 would shrink the keyless field to
+        // one bit and the loop would not run out of input within k).
+        let mut opts = OptConfig::all();
+        opts.opt2_bitwidth = false;
+        let red = reduce_spec(&spec, opts).unwrap();
+        let dev = DeviceProfile::tofino();
+        // Loopy so the backward transition is representable.
+        let shape = build_shape(&red, &dev, opts, true, None).unwrap();
+        // Extract f0 twice: 8 bits needed, input only 4.
+        let conc = ConcreteSkel {
+            alloc: vec![vec![]; 2],
+            entries: vec![
+                vec![ConcreteEntry {
+                    value: BitString::zeros(1),
+                    mask: BitString::zeros(1),
+                    next: 1,
+                }],
+                vec![ConcreteEntry {
+                    value: BitString::zeros(1),
+                    mask: BitString::zeros(1),
+                    next: 1, // loop back: extract again
+                }],
+            ],
+            ext: vec![0, 1],
+            stage: vec![0, 0],
+        };
+        let mut smt = Smt::new();
+        let terms = concrete_terms(&mut smt, &shape, &conc);
+        let it = smt.const_bits(BitString::from_u64(0b1010, 4));
+        let out = encode_impl(&mut smt, &shape, &terms, it, 4);
+        assert!(smt.check().is_sat());
+        assert_eq!(smt.model_u64(out.status) as usize, shape.ooi_code());
+    }
+}

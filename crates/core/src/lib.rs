@@ -1,0 +1,257 @@
+//! # ph-core
+//!
+//! The ParserHawk synthesis engine (§5–§6 of the paper): a CEGIS
+//! (counterexample-guided inductive synthesis) compiler from parser
+//! specifications to TCAM programs for heterogeneous devices.
+//!
+//! Pipeline (Fig. 8):
+//!
+//! 1. **Code analyzer / reducer** ([`reduce`]) — applies Opt2 (bit-width
+//!    minimization of irrelevant fields) and Opt6 (varbit fields treated as
+//!    fixed-size) to shrink the input space.
+//! 2. **Skeleton** ([`skeleton`]) — a parameterized TCAM-machine template:
+//!    one hardware state per extracted field (Opt3 preallocation) plus spare
+//!    key-checking states, per-state key-source allocation variables over
+//!    spec-derived bit groups (Opt1 + Opt5), and per-entry value/mask/next
+//!    symbols with value selection restricted to spec constants and their
+//!    combinations/subranges (Opt4).  Device constraints (φ_tofino /
+//!    φ_IPU of Figs. 10–11) are asserted structurally.
+//! 3. **CEGIS loop** ([`cegis`]) — synthesis over accumulated test cases in
+//!    one incremental solver, symbolic verification against the enumerated
+//!    spec paths (φ_spec, Fig. 12), counterexamples feeding back, and an
+//!    outer descent on the resource budget (TCAM entries for Tofino, stages
+//!    for the IPU).
+//! 4. **Post-synthesis optimizer** ([`post`]) — §5.3: chain-state merging
+//!    and extraction splitting; varbit/width restoration is automatic
+//!    because emitted programs reference the original field table.
+//! 5. **Validation** ([`validate`]) — the Fig. 22 simulator check on random
+//!    and boundary inputs against the *original* specification.
+//!
+//! Opt7 (parallel racing of loop-aware/loop-free skeletons and budget
+//! subproblems) lives in [`parallel`].
+
+pub mod bounds;
+pub mod cegis;
+pub mod encode;
+pub mod parallel;
+pub mod post;
+pub mod reduce;
+pub mod skeleton;
+pub mod specenc;
+pub mod validate;
+
+use ph_hw::{DeviceProfile, TcamProgram};
+use ph_ir::ParserSpec;
+use std::fmt;
+use std::time::Duration;
+
+/// Which optimizations are enabled (§6).  Each flag is honest: disabling it
+/// genuinely enlarges the encoding, which is how the Table 3 `Orig` column
+/// and the Table 5 ablations are measured.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OptConfig {
+    /// Opt1: restrict key-source bits to those used in the spec.
+    pub opt1_spec_keys: bool,
+    /// Opt2: shrink irrelevant fields to one bit during synthesis.
+    pub opt2_bitwidth: bool,
+    /// Opt3: preallocate one extracted field per hardware state.
+    pub opt3_prealloc: bool,
+    /// Opt4: restrict entry values to spec constants (+ concatenations and
+    /// hardware-width subranges).
+    pub opt4_constants: bool,
+    /// Opt5: allocate contiguous field bits as indivisible groups.
+    pub opt5_grouping: bool,
+    /// Opt6: treat varbit fields as fixed-size during synthesis.
+    pub opt6_fixed_varbit: bool,
+    /// Opt7: race loop-aware and loop-free skeletons in parallel.
+    pub opt7_parallel: bool,
+}
+
+impl OptConfig {
+    /// All optimizations on (the paper's default).
+    pub fn all() -> OptConfig {
+        OptConfig {
+            opt1_spec_keys: true,
+            opt2_bitwidth: true,
+            opt3_prealloc: true,
+            opt4_constants: true,
+            opt5_grouping: true,
+            opt6_fixed_varbit: true,
+            opt7_parallel: true,
+        }
+    }
+
+    /// All optimizations off — the naive "Orig" encoding of Table 3.
+    /// (Opt6 stays on because varbit handling without it is undefined; the
+    /// paper's baseline does the same for benchmarks that need it.)
+    pub fn none() -> OptConfig {
+        OptConfig {
+            opt1_spec_keys: false,
+            opt2_bitwidth: false,
+            opt3_prealloc: false,
+            opt4_constants: false,
+            opt5_grouping: false,
+            opt6_fixed_varbit: true,
+            opt7_parallel: false,
+        }
+    }
+
+    /// The Table 5 "Other OPT" configuration: everything but Opt4 and Opt5.
+    pub fn without_opt45() -> OptConfig {
+        OptConfig { opt4_constants: false, opt5_grouping: false, ..OptConfig::all() }
+    }
+
+    /// The Table 5 "+OPT5" configuration: everything but Opt4.
+    pub fn without_opt4() -> OptConfig {
+        OptConfig { opt4_constants: false, ..OptConfig::all() }
+    }
+}
+
+/// Knobs of a synthesis run.
+#[derive(Clone, Debug)]
+pub struct SynthParams {
+    /// Wall-clock budget; `None` = unlimited.
+    pub timeout: Option<Duration>,
+    /// Cap on CEGIS iterations per budget level.
+    pub max_cegis_iters: usize,
+    /// Cap on loop unrolling for loopy specifications.
+    pub max_loop_iters: usize,
+    /// Extra no-extraction states available for key splitting.
+    pub spare_states: Option<usize>,
+    /// Random seed for initial test-case generation.
+    pub seed: u64,
+}
+
+impl Default for SynthParams {
+    fn default() -> Self {
+        SynthParams {
+            timeout: Some(Duration::from_secs(120)),
+            max_cegis_iters: 160,
+            max_loop_iters: 8,
+            spare_states: None,
+            seed: 0x9aa5,
+        }
+    }
+}
+
+/// Statistics of a synthesis run (the Table 3 columns).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SynthStats {
+    /// Total width in bits of the skeleton's decision variables — the
+    /// "Search Space (bits)" column.
+    pub search_space_bits: usize,
+    /// CEGIS iterations across all budget levels.
+    pub cegis_iterations: usize,
+    /// Test cases accumulated.
+    pub test_cases: usize,
+    /// Budget levels explored during minimization.
+    pub budget_levels: usize,
+    /// Wall-clock time spent.
+    pub wall: Duration,
+}
+
+/// A successful synthesis result.
+#[derive(Clone, Debug)]
+pub struct SynthOutput {
+    /// The compiled, validated program.
+    pub program: TcamProgram,
+    /// Run statistics.
+    pub stats: SynthStats,
+}
+
+/// Why synthesis failed.
+#[derive(Clone, Debug)]
+pub enum SynthError {
+    /// No implementation exists within the device's resources.
+    Infeasible(String),
+    /// The wall-clock budget expired before a verdict.
+    Timeout(SynthStats),
+    /// The specification uses a feature outside the supported fragment.
+    Unsupported(String),
+    /// The synthesized program failed final validation (an engine bug —
+    /// surfaced rather than silently returned).
+    ValidationFailed(String),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::Infeasible(m) => write!(f, "infeasible: {m}"),
+            SynthError::Timeout(s) => write!(f, "timeout after {:?}", s.wall),
+            SynthError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            SynthError::ValidationFailed(m) => write!(f, "validation failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+/// The top-level compiler: device profile + optimization configuration.
+///
+/// ```
+/// use ph_core::{Synthesizer, OptConfig};
+/// use ph_hw::DeviceProfile;
+///
+/// let spec = ph_p4f::parse_parser(r#"
+///     header h_t { v : 4; }
+///     parser {
+///         state start {
+///             extract(h_t);
+///             transition select(h_t.v) { 7 : accept; default : reject; }
+///         }
+///     }
+/// "#).unwrap();
+/// let out = Synthesizer::new(DeviceProfile::tofino(), OptConfig::all())
+///     .synthesize(&spec)
+///     .unwrap();
+/// assert!(out.program.entry_count() >= 1);
+/// ```
+pub struct Synthesizer {
+    device: DeviceProfile,
+    opts: OptConfig,
+    params: SynthParams,
+}
+
+impl Synthesizer {
+    /// Creates a synthesizer with default parameters.
+    pub fn new(device: DeviceProfile, opts: OptConfig) -> Synthesizer {
+        Synthesizer { device, opts, params: SynthParams::default() }
+    }
+
+    /// Overrides the run parameters.
+    pub fn with_params(mut self, params: SynthParams) -> Synthesizer {
+        self.params = params;
+        self
+    }
+
+    /// Compiles `spec` into a validated [`TcamProgram`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SynthError`].
+    pub fn synthesize(&self, spec: &ParserSpec) -> Result<SynthOutput, SynthError> {
+        spec.validate().map_err(|e| SynthError::Unsupported(e.to_string()))?;
+        if self.opts.opt7_parallel {
+            parallel::synthesize_racing(spec, &self.device, self.opts, &self.params)
+        } else {
+            cegis::synthesize_one(
+                spec,
+                &self.device,
+                self.opts,
+                &self.params,
+                cegis::LoopMode::Auto,
+                None,
+            )
+        }
+    }
+
+    /// The device profile this synthesizer targets.
+    pub fn device(&self) -> &DeviceProfile {
+        &self.device
+    }
+
+    /// The optimization configuration.
+    pub fn opts(&self) -> OptConfig {
+        self.opts
+    }
+}

@@ -1,0 +1,138 @@
+//! Input-space reduction: Opt2 (bit-width minimization) and Opt6 (fixed-size
+//! varbit treatment).
+//!
+//! Both transforms keep the *field table shape* — same number of fields,
+//! same ids — so a program synthesized against the reduced spec can be
+//! emitted against the original field table unchanged: the hardware machine
+//! then extracts original widths (and true varbit lengths) automatically.
+//! What shrinks is only the synthesis-internal semantics: test cases,
+//! verification inputs and dictionary comparisons all live in the reduced
+//! space.  Opt2's soundness argument is that irrelevant fields contribute
+//! no key bits, so control flow cannot depend on their content; Opt6's is
+//! §6.6: which state extracts a varbit field is independent of its runtime
+//! size.
+
+use crate::OptConfig;
+use ph_ir::{analysis, FieldKind, ParserSpec};
+
+/// Width given to varbit fields during synthesis under Opt6.  Any positive
+/// value works (placement is size-independent); small keeps the
+/// verification bitstream short.
+pub const VARBIT_SYNTH_WIDTH: usize = 4;
+
+/// The reduced specification plus bookkeeping.
+#[derive(Clone, Debug)]
+pub struct Reduced {
+    /// The reduced spec (same field ids as the original).
+    pub spec: ParserSpec,
+    /// Which fields were shrunk by Opt2.
+    pub shrunk: Vec<bool>,
+}
+
+/// Applies Opt2/Opt6 according to `opts`.
+///
+/// # Errors
+///
+/// Returns a message when the spec keys on a varbit field (unsupported: a
+/// runtime-sized field cannot feed a fixed transition key).
+pub fn reduce_spec(spec: &ParserSpec, opts: OptConfig) -> Result<Reduced, String> {
+    let used = analysis::key_bits_used(spec);
+    for (fi, f) in spec.fields.iter().enumerate() {
+        if matches!(f.kind, FieldKind::Var(_)) && !used[fi].is_empty() {
+            return Err(format!("field {} is varbit but used in a transition key", f.name));
+        }
+    }
+
+    let mut out = spec.clone();
+    let mut shrunk = vec![false; spec.fields.len()];
+
+    if opts.opt6_fixed_varbit {
+        for f in out.fields.iter_mut() {
+            if matches!(f.kind, FieldKind::Var(_)) {
+                f.kind = FieldKind::Fixed;
+                f.width = f.width.min(VARBIT_SYNTH_WIDTH);
+            }
+        }
+    }
+
+    if opts.opt2_bitwidth {
+        let irrelevant = analysis::irrelevant_fields(&out);
+        for (fi, f) in out.fields.iter_mut().enumerate() {
+            if irrelevant[fi] && f.width > 1 {
+                f.width = 1;
+                shrunk[fi] = true;
+            }
+        }
+    }
+
+    out.validate().map_err(|e| format!("reduced spec invalid: {e}"))?;
+    Ok(Reduced { spec: out, shrunk })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ph_ir::{Field, FieldId, KeyPart, NextState, State, StateId, Transition, VarLen};
+
+    fn spec_with_varbit(keyed_on_varbit: bool) -> ParserSpec {
+        ParserSpec {
+            fields: vec![
+                Field::fixed("ctl", 4),
+                Field {
+                    name: "opts".into(),
+                    width: 64,
+                    kind: FieldKind::Var(VarLen {
+                        control: FieldId(0),
+                        multiplier: 8,
+                        offset: 0,
+                    }),
+                },
+                Field::fixed("pad", 32),
+            ],
+            states: vec![State {
+                name: "start".into(),
+                extracts: vec![FieldId(0), FieldId(1), FieldId(2)],
+                key: vec![if keyed_on_varbit {
+                    KeyPart::Slice { field: FieldId(1), start: 0, end: 2 }
+                } else {
+                    KeyPart::Slice { field: FieldId(0), start: 0, end: 2 }
+                }],
+                transitions: vec![Transition {
+                    pattern: ph_bits::Ternary::parse("11").unwrap(),
+                    next: NextState::Reject,
+                }],
+                default: NextState::Accept,
+            }],
+            start: StateId(0),
+        }
+    }
+
+    #[test]
+    fn varbit_becomes_fixed_and_small() {
+        let r = reduce_spec(&spec_with_varbit(false), OptConfig::all()).unwrap();
+        assert_eq!(r.spec.fields[1].kind, FieldKind::Fixed);
+        assert!(r.spec.fields[1].width <= VARBIT_SYNTH_WIDTH);
+    }
+
+    #[test]
+    fn irrelevant_fields_shrink_to_one_bit() {
+        let r = reduce_spec(&spec_with_varbit(false), OptConfig::all()).unwrap();
+        assert_eq!(r.spec.fields[2].width, 1); // pad never keyed
+        assert!(r.shrunk[2]);
+        assert_eq!(r.spec.fields[0].width, 4); // ctl keyed, keeps width
+        assert!(!r.shrunk[0]);
+    }
+
+    #[test]
+    fn opt2_off_keeps_widths() {
+        let mut opts = OptConfig::all();
+        opts.opt2_bitwidth = false;
+        let r = reduce_spec(&spec_with_varbit(false), opts).unwrap();
+        assert_eq!(r.spec.fields[2].width, 32);
+    }
+
+    #[test]
+    fn keyed_varbit_rejected() {
+        assert!(reduce_spec(&spec_with_varbit(true), OptConfig::all()).is_err());
+    }
+}

@@ -1,0 +1,374 @@
+//! Static resource validation of a [`TcamProgram`] against a
+//! [`DeviceProfile`].
+//!
+//! These are the checks a commercial compiler's back end performs before
+//! emitting a binary; their failure strings deliberately mirror the paper's
+//! Table 3 annotations (`Too many TCAM`, `Too many stages`, `Wide tran key`,
+//! `Parser loop rej`).
+
+use crate::device::{Arch, DeviceProfile};
+use crate::program::{HwNext, TcamProgram};
+use ph_ir::{Field, KeyPart};
+use std::fmt;
+
+/// A resource violation found by [`check_program`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Violation {
+    /// A state's transition key exceeds the device's key width limit.
+    WideTranKey {
+        /// Offending state index.
+        state: usize,
+        /// Its key width.
+        width: usize,
+        /// The device limit.
+        limit: usize,
+    },
+    /// Entry budget exceeded (total or per-stage, by architecture).
+    TooManyTcam {
+        /// Entries counted (in the scope of the limit).
+        used: usize,
+        /// The device limit.
+        limit: usize,
+        /// Stage index for pipelined devices, `None` for single-table.
+        stage: Option<usize>,
+    },
+    /// Stage budget exceeded.
+    TooManyStages {
+        /// Stages used.
+        used: usize,
+        /// The device limit.
+        limit: usize,
+    },
+    /// A lookahead key part reaches past the device's window.
+    LookaheadTooFar {
+        /// Offending state index.
+        state: usize,
+        /// Bits of lookahead required.
+        needed: usize,
+        /// The device limit.
+        limit: usize,
+    },
+    /// A single entry extracts more bits than the device allows.
+    ExtractionTooWide {
+        /// Offending state index.
+        state: usize,
+        /// Entry index within the state.
+        entry: usize,
+        /// Bits extracted.
+        bits: usize,
+        /// The device limit.
+        limit: usize,
+    },
+    /// A loop (state revisiting) on a device that cannot loop.
+    ParserLoopRejected {
+        /// A state on the cycle.
+        state: usize,
+    },
+    /// On pipelined devices, a transition that does not move strictly
+    /// forward in stages (constraint `New2` of Fig. 11).
+    BackwardStageTransition {
+        /// Source state.
+        from: usize,
+        /// Destination state.
+        to: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Violation::WideTranKey { state, width, limit } => {
+                write!(f, "Wide tran key: state {state} key {width}b > limit {limit}b")
+            }
+            Violation::TooManyTcam { used, limit, stage: Some(s) } => {
+                write!(f, "Too many TCAM: stage {s} uses {used} > {limit}")
+            }
+            Violation::TooManyTcam { used, limit, stage: None } => {
+                write!(f, "Too many TCAM: {used} > {limit}")
+            }
+            Violation::TooManyStages { used, limit } => {
+                write!(f, "Too many stages: {used} > {limit}")
+            }
+            Violation::LookaheadTooFar { state, needed, limit } => {
+                write!(f, "Lookahead too far: state {state} needs {needed}b > {limit}b")
+            }
+            Violation::ExtractionTooWide { state, entry, bits, limit } => {
+                write!(f, "Extraction too wide: state {state} entry {entry} {bits}b > {limit}b")
+            }
+            Violation::ParserLoopRejected { state } => {
+                write!(f, "Parser loop rej: state {state} is on a cycle")
+            }
+            Violation::BackwardStageTransition { from, to } => {
+                write!(f, "Conflict transition: state {from} -> {to} does not advance stages")
+            }
+        }
+    }
+}
+
+/// Checks `program` against its device profile, returning every violation.
+///
+/// `fields` is the specification field table (needed to size extractions).
+pub fn check_program(program: &TcamProgram, fields: &[Field]) -> Vec<Violation> {
+    let device: &DeviceProfile = &program.device;
+    let mut out = Vec::new();
+
+    // Key widths and lookahead windows.
+    for (si, st) in program.states.iter().enumerate() {
+        let kw = st.key_width();
+        if kw > device.key_limit {
+            out.push(Violation::WideTranKey { state: si, width: kw, limit: device.key_limit });
+        }
+        let look = st
+            .key
+            .iter()
+            .filter_map(|kp| match *kp {
+                KeyPart::Lookahead { end, .. } => Some(end),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        if look > device.lookahead_limit {
+            out.push(Violation::LookaheadTooFar {
+                state: si,
+                needed: look,
+                limit: device.lookahead_limit,
+            });
+        }
+        for (ei, e) in st.entries.iter().enumerate() {
+            let bits: usize = e.extracts.iter().map(|&f| fields[f.0].width).sum();
+            if bits > device.extraction_limit {
+                out.push(Violation::ExtractionTooWide {
+                    state: si,
+                    entry: ei,
+                    bits,
+                    limit: device.extraction_limit,
+                });
+            }
+        }
+    }
+
+    // Entry budgets.
+    match device.arch {
+        Arch::SingleTable => {
+            let used = program.entry_count();
+            if used > device.tcam_limit {
+                out.push(Violation::TooManyTcam { used, limit: device.tcam_limit, stage: None });
+            }
+        }
+        Arch::Pipelined | Arch::Interleaved => {
+            let mut per_stage = vec![0usize; device.stage_limit.max(program.stages_used())];
+            for st in &program.states {
+                if st.stage < per_stage.len() {
+                    per_stage[st.stage] += st.entries.len();
+                }
+            }
+            for (stage, &used) in per_stage.iter().enumerate() {
+                if used > device.tcam_limit {
+                    out.push(Violation::TooManyTcam {
+                        used,
+                        limit: device.tcam_limit,
+                        stage: Some(stage),
+                    });
+                }
+            }
+        }
+    }
+
+    // Stage budget.
+    let stages = program.stages_used();
+    if stages > device.stage_limit {
+        out.push(Violation::TooManyStages { used: stages, limit: device.stage_limit });
+    }
+
+    // Loop / stage-monotonicity rules for pipelined devices.
+    if !device.allows_loops() {
+        for (si, st) in program.states.iter().enumerate() {
+            for e in &st.entries {
+                if let HwNext::State(n) = e.next {
+                    let to = &program.states[n.0];
+                    if to.stage <= st.stage {
+                        if n.0 == si {
+                            out.push(Violation::ParserLoopRejected { state: si });
+                        } else {
+                            out.push(Violation::BackwardStageTransition { from: si, to: n.0 });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    out.sort_by_key(|v| format!("{v:?}"));
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{HwEntry, HwState, HwStateId};
+    use ph_bits::Ternary;
+    use ph_ir::FieldId;
+
+    fn fields() -> Vec<Field> {
+        vec![Field::fixed("a", 8), Field::fixed("b", 200)]
+    }
+
+    fn state(stage: usize, key_bits: usize, entries: Vec<HwEntry>) -> HwState {
+        HwState {
+            name: format!("st{stage}"),
+            stage,
+            key: if key_bits == 0 {
+                vec![]
+            } else {
+                vec![KeyPart::Slice { field: FieldId(0), start: 0, end: key_bits }]
+            },
+            entries,
+        }
+    }
+
+    #[test]
+    fn clean_program_passes() {
+        let p = TcamProgram {
+            device: DeviceProfile::tofino(),
+            states: vec![state(
+                0,
+                4,
+                vec![HwEntry::catch_all(4, HwNext::Accept)],
+            )],
+            start: HwStateId(0),
+        };
+        assert!(check_program(&p, &fields()).is_empty());
+    }
+
+    #[test]
+    fn wide_key_detected() {
+        let p = TcamProgram {
+            device: DeviceProfile::tofino().with_key_limit(2),
+            states: vec![state(0, 4, vec![HwEntry::catch_all(4, HwNext::Accept)])],
+            start: HwStateId(0),
+        };
+        let vs = check_program(&p, &fields());
+        assert!(vs.iter().any(|v| matches!(v, Violation::WideTranKey { width: 4, limit: 2, .. })));
+    }
+
+    #[test]
+    fn entry_budget_single_table() {
+        let entries: Vec<HwEntry> =
+            (0..5).map(|_| HwEntry::catch_all(4, HwNext::Accept)).collect();
+        let p = TcamProgram {
+            device: DeviceProfile::tofino().with_tcam_limit(3),
+            states: vec![state(0, 4, entries)],
+            start: HwStateId(0),
+        };
+        let vs = check_program(&p, &fields());
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::TooManyTcam { used: 5, limit: 3, stage: None })));
+    }
+
+    #[test]
+    fn entry_budget_per_stage() {
+        let p = TcamProgram {
+            device: DeviceProfile::ipu().with_tcam_limit(1),
+            states: vec![
+                state(
+                    0,
+                    0,
+                    vec![
+                        HwEntry::catch_all(0, HwNext::State(HwStateId(1))),
+                        HwEntry::catch_all(0, HwNext::Accept),
+                    ],
+                ),
+                state(1, 0, vec![HwEntry::catch_all(0, HwNext::Accept)]),
+            ],
+            start: HwStateId(0),
+        };
+        let vs = check_program(&p, &fields());
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::TooManyTcam { used: 2, limit: 1, stage: Some(0) })));
+    }
+
+    #[test]
+    fn loop_rejected_on_ipu() {
+        let p = TcamProgram {
+            device: DeviceProfile::ipu(),
+            states: vec![state(
+                0,
+                0,
+                vec![HwEntry {
+                    pattern: Ternary::any(0),
+                    extracts: vec![],
+                    next: HwNext::State(HwStateId(0)),
+                }],
+            )],
+            start: HwStateId(0),
+        };
+        let vs = check_program(&p, &fields());
+        assert!(vs.iter().any(|v| matches!(v, Violation::ParserLoopRejected { state: 0 })));
+    }
+
+    #[test]
+    fn backward_stage_transition_on_ipu() {
+        let p = TcamProgram {
+            device: DeviceProfile::ipu(),
+            states: vec![
+                state(1, 0, vec![HwEntry {
+                    pattern: Ternary::any(0),
+                    extracts: vec![],
+                    next: HwNext::State(HwStateId(1)),
+                }]),
+                state(0, 0, vec![HwEntry::catch_all(0, HwNext::Accept)]),
+            ],
+            start: HwStateId(0),
+        };
+        let vs = check_program(&p, &fields());
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::BackwardStageTransition { from: 0, to: 1 })));
+    }
+
+    #[test]
+    fn stage_budget() {
+        let p = TcamProgram {
+            device: DeviceProfile::ipu().with_stage_limit(1),
+            states: vec![
+                state(0, 0, vec![HwEntry::catch_all(0, HwNext::State(HwStateId(1)))]),
+                state(1, 0, vec![HwEntry::catch_all(0, HwNext::Accept)]),
+            ],
+            start: HwStateId(0),
+        };
+        let vs = check_program(&p, &fields());
+        assert!(vs.iter().any(|v| matches!(v, Violation::TooManyStages { used: 2, limit: 1 })));
+    }
+
+    #[test]
+    fn extraction_limit() {
+        let p = TcamProgram {
+            device: DeviceProfile::tofino(),
+            states: vec![state(
+                0,
+                0,
+                vec![HwEntry {
+                    pattern: Ternary::any(0),
+                    extracts: vec![FieldId(1), FieldId(0)], // 208 bits > 128
+                    next: HwNext::Accept,
+                }],
+            )],
+            start: HwStateId(0),
+        };
+        let vs = check_program(&p, &fields());
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::ExtractionTooWide { bits: 208, .. })));
+    }
+
+    #[test]
+    fn violations_display() {
+        let v = Violation::TooManyStages { used: 9, limit: 4 };
+        assert_eq!(v.to_string(), "Too many stages: 9 > 4");
+        let v = Violation::ParserLoopRejected { state: 3 };
+        assert!(v.to_string().starts_with("Parser loop rej"));
+    }
+}

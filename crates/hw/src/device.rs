@@ -1,0 +1,158 @@
+//! Device profiles: the hardware-configuration half of the encoding (§5.1.2).
+//!
+//! ParserHawk splits its encoding into generic FSM-simulation rules and a
+//! per-device profile; retargeting means swapping the profile (§7.3).  The
+//! numeric limits below are model parameters chosen to match the published
+//! architecture descriptions; see EXPERIMENTS.md for the mapping.
+
+use serde::{Deserialize, Serialize};
+
+/// The architectural shape of a parser (§3.1, Fig. 2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Arch {
+    /// One TCAM table the FSM may revisit arbitrarily (Tofino).  Entries can
+    /// loop back, so one entry can strip repeated headers (e.g. MPLS).
+    SingleTable,
+    /// One TCAM table per pipeline stage (Intel IPU).  A state is pinned to
+    /// a stage, transitions must move to a strictly later stage (constraint
+    /// `New2` of Fig. 11), and entries cannot be revisited.
+    Pipelined,
+    /// Pipelined subparsers interleaved with match-action processing
+    /// (Broadcom Trident).  Modelled as `Pipelined` plus pipeline
+    /// re-entry points; the synthesis encoding treats each subparser as a
+    /// pipelined segment.
+    Interleaved,
+}
+
+/// Hardware resource constraints for one target device (§5.1.2).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Human-readable device name.
+    pub name: String,
+    /// Architectural shape.
+    pub arch: Arch,
+    /// `keyLimit`: maximum transition-key bits per state.
+    pub key_limit: usize,
+    /// `tcamLimit`: maximum TCAM entries — total for [`Arch::SingleTable`],
+    /// per stage for [`Arch::Pipelined`].
+    pub tcam_limit: usize,
+    /// `lookaheadLimit`: how far past the cursor a key may peek, in bits.
+    pub lookahead_limit: usize,
+    /// Maximum bits extracted by a single entry (§5.1.2 *extraction length
+    /// limit*; enforced post-synthesis, §5.3).
+    pub extraction_limit: usize,
+    /// `stageLimit`: number of pipeline stages (1 for single-table).
+    pub stage_limit: usize,
+}
+
+impl DeviceProfile {
+    /// The Tofino-style single-TCAM-table profile.
+    pub fn tofino() -> DeviceProfile {
+        DeviceProfile {
+            name: "tofino".into(),
+            arch: Arch::SingleTable,
+            key_limit: 32,
+            tcam_limit: 256,
+            lookahead_limit: 32,
+            extraction_limit: 128,
+            stage_limit: 1,
+        }
+    }
+
+    /// The Intel-IPU-style pipelined-TCAM-table profile.
+    pub fn ipu() -> DeviceProfile {
+        DeviceProfile {
+            name: "ipu".into(),
+            arch: Arch::Pipelined,
+            key_limit: 32,
+            tcam_limit: 16,
+            lookahead_limit: 32,
+            extraction_limit: 128,
+            stage_limit: 12,
+        }
+    }
+
+    /// The Trident-style interleaved profile.
+    pub fn trident() -> DeviceProfile {
+        DeviceProfile {
+            name: "trident".into(),
+            arch: Arch::Interleaved,
+            key_limit: 16,
+            tcam_limit: 32,
+            lookahead_limit: 16,
+            extraction_limit: 128,
+            stage_limit: 8,
+        }
+    }
+
+    /// A fully parameterized profile for the Table 4 experiments
+    /// (DPParserGen comparison under varying hardware resources).
+    pub fn parameterized(key_limit: usize, lookahead_limit: usize, extraction_limit: usize) -> DeviceProfile {
+        DeviceProfile {
+            name: format!("param-k{key_limit}-l{lookahead_limit}-e{extraction_limit}"),
+            arch: Arch::SingleTable,
+            key_limit,
+            tcam_limit: 256,
+            lookahead_limit,
+            extraction_limit,
+            stage_limit: 1,
+        }
+    }
+
+    /// True when entries may be revisited (loops allowed).
+    pub fn allows_loops(&self) -> bool {
+        self.arch == Arch::SingleTable
+    }
+
+    /// Returns a copy with a different key limit (used by Opt7.2's
+    /// constraint-tightening subproblems).
+    pub fn with_key_limit(&self, key_limit: usize) -> DeviceProfile {
+        DeviceProfile { key_limit, name: format!("{}-k{key_limit}", self.name), ..self.clone() }
+    }
+
+    /// Returns a copy with a different TCAM entry budget.
+    pub fn with_tcam_limit(&self, tcam_limit: usize) -> DeviceProfile {
+        DeviceProfile { tcam_limit, ..self.clone() }
+    }
+
+    /// Returns a copy with a different stage budget.
+    pub fn with_stage_limit(&self, stage_limit: usize) -> DeviceProfile {
+        DeviceProfile { stage_limit, ..self.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canned_profiles_are_consistent() {
+        let t = DeviceProfile::tofino();
+        assert!(t.allows_loops());
+        assert_eq!(t.stage_limit, 1);
+        let i = DeviceProfile::ipu();
+        assert!(!i.allows_loops());
+        assert!(i.stage_limit > 1);
+        let tr = DeviceProfile::trident();
+        assert_eq!(tr.arch, Arch::Interleaved);
+    }
+
+    #[test]
+    fn parameterized_builder() {
+        let p = DeviceProfile::parameterized(4, 2, 10);
+        assert_eq!(p.key_limit, 4);
+        assert_eq!(p.lookahead_limit, 2);
+        assert_eq!(p.extraction_limit, 10);
+        assert!(p.allows_loops());
+    }
+
+    #[test]
+    fn with_modifiers() {
+        let t = DeviceProfile::tofino().with_key_limit(2);
+        assert_eq!(t.key_limit, 2);
+        assert_eq!(t.arch, Arch::SingleTable);
+        let i = DeviceProfile::ipu().with_stage_limit(3).with_tcam_limit(4);
+        assert_eq!(i.stage_limit, 3);
+        assert_eq!(i.tcam_limit, 4);
+    }
+}

@@ -1,0 +1,30 @@
+//! # ph-hw
+//!
+//! Hardware models for line-rate programmable parsers (§3 of the paper).
+//!
+//! * [`DeviceProfile`] — resource constraints of a target device: transition
+//!   key width, TCAM entry budget, lookahead window, extraction limit, stage
+//!   count, and the architectural shape (one looping TCAM table à la Tofino,
+//!   pipelined per-stage tables à la the Intel IPU, or interleaved
+//!   subparsers à la Broadcom Trident).
+//! * [`TcamProgram`] — a compiled parser: per-state transition-key
+//!   definitions and prioritized TCAM entries that extract fields and
+//!   transition.  This is the `Impl` of §4 (Fig. 6 / Table 1).
+//! * [`machine`] — the implementation simulator (`Impl(I)` from Fig. 6):
+//!   executes a `TcamProgram` on a bitstream, producing the same
+//!   [`ph_ir::OutputDict`] the spec simulator produces, so the two can be
+//!   compared directly (the Fig. 22 correctness check).
+//! * [`check`] — static resource validation of a program against a profile,
+//!   reporting violations the way commercial compilers reject programs
+//!   (`Too many TCAM`, `Too many stages`, `Wide tran key`, ...).
+
+pub mod check;
+pub mod machine;
+
+mod device;
+mod program;
+
+pub use check::{check_program, Violation};
+pub use device::{Arch, DeviceProfile};
+pub use machine::run_program;
+pub use program::{HwEntry, HwNext, HwState, HwStateId, ResourceUsage, TcamProgram};

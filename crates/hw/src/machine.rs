@@ -1,0 +1,230 @@
+//! The implementation simulator: `Impl(I)` from Fig. 6.
+//!
+//! Executes a [`TcamProgram`] over a concrete bitstream exactly the way the
+//! hardware would: per iteration, build the current state's transition key
+//! from the output dictionary and lookahead bits, scan the state's TCAM
+//! entries in priority order, extract the matching entry's fields at the
+//! cursor, and transition.  The result type is shared with the spec
+//! simulator so outputs are directly comparable (the Fig. 22 check).
+
+use crate::program::{HwNext, TcamProgram};
+use ph_bits::BitString;
+use ph_ir::{Field, FieldKind, KeyPart, OutputDict, ParseStatus, SimResult};
+
+/// Runs `program` on `input` for at most `max_iters` state visits.
+///
+/// `fields` is the specification's field table (the dictionary domain).
+/// Missing key-source fields read as zeros, mirroring the spec simulator.
+pub fn run_program(
+    program: &TcamProgram,
+    fields: &[Field],
+    input: &BitString,
+    max_iters: usize,
+) -> SimResult {
+    let mut dict = OutputDict::new(fields.len());
+    let mut pos = 0usize;
+    let mut path = Vec::new();
+    let mut current = program.start;
+
+    for _ in 0..max_iters {
+        path.push(current.0);
+        let st = program.state(current);
+
+        // Build the transition key.  Lookahead past the end of the input
+        // reads zeros (hardware pads short packets), matching the spec
+        // simulator.
+        let mut key = BitString::empty();
+        for kp in &st.key {
+            match *kp {
+                KeyPart::Slice { field, start, end } => match dict.get(field) {
+                    Some(v) => key = key.concat(&v.slice(start, end)),
+                    None => key = key.concat(&BitString::zeros(end - start)),
+                },
+                KeyPart::Lookahead { start, end } => {
+                    for i in start..end {
+                        let bit = if pos + i < input.len() { input.get(pos + i) } else { false };
+                        key.push(bit);
+                    }
+                }
+            }
+        }
+
+        // First matching entry wins; no match = hardware reject.
+        let Some(entry) = st.entries.iter().find(|e| e.pattern.matches(&key)) else {
+            return SimResult { status: ParseStatus::Reject, dict, path, consumed: pos };
+        };
+
+        // Extraction phase.
+        for &fid in &entry.extracts {
+            let field = &fields[fid.0];
+            let take = match &field.kind {
+                FieldKind::Fixed => field.width,
+                FieldKind::Var(v) => {
+                    let ctrl = dict.get(v.control).map(|b| b.to_u64() as i64).unwrap_or(0);
+                    (ctrl * v.multiplier + v.offset).clamp(0, field.width as i64) as usize
+                }
+            };
+            if pos + take > input.len() {
+                return SimResult { status: ParseStatus::OutOfInput, dict, path, consumed: pos };
+            }
+            let raw = input.slice(pos, pos + take);
+            pos += take;
+            let value = if raw.len() < field.width {
+                BitString::zeros(field.width - raw.len()).concat(&raw)
+            } else {
+                raw
+            };
+            dict.set(fid, value);
+        }
+
+        match entry.next {
+            HwNext::Accept => {
+                return SimResult { status: ParseStatus::Accept, dict, path, consumed: pos }
+            }
+            HwNext::Reject => {
+                return SimResult { status: ParseStatus::Reject, dict, path, consumed: pos }
+            }
+            HwNext::State(s) => current = s,
+        }
+    }
+    SimResult { status: ParseStatus::IterationBudget, dict, path, consumed: pos }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceProfile;
+    use crate::program::{HwEntry, HwState, HwStateId};
+    use ph_bits::Ternary;
+    use ph_ir::FieldId;
+
+    /// Table 1's Impl2: conditional second extraction.
+    fn table1_impl2() -> (TcamProgram, Vec<Field>) {
+        let fields = vec![Field::fixed("field_0", 4), Field::fixed("field_1", 4)];
+        let program = TcamProgram {
+            device: DeviceProfile::tofino(),
+            states: vec![
+                HwState {
+                    name: "sid0".into(),
+                    stage: 0,
+                    key: vec![],
+                    entries: vec![HwEntry {
+                        pattern: Ternary::any(0),
+                        extracts: vec![FieldId(0)],
+                        next: HwNext::State(HwStateId(1)),
+                    }],
+                },
+                HwState {
+                    name: "sid1".into(),
+                    stage: 0,
+                    key: vec![KeyPart::Slice { field: FieldId(0), start: 0, end: 1 }],
+                    entries: vec![
+                        HwEntry {
+                            pattern: Ternary::parse("0").unwrap(),
+                            extracts: vec![FieldId(1)],
+                            next: HwNext::Accept,
+                        },
+                        HwEntry {
+                            pattern: Ternary::parse("1").unwrap(),
+                            extracts: vec![],
+                            next: HwNext::Accept,
+                        },
+                    ],
+                },
+            ],
+            start: HwStateId(0),
+        };
+        (program, fields)
+    }
+
+    #[test]
+    fn impl2_matches_spec2_semantics() {
+        let (p, fields) = table1_impl2();
+        // First bit 0: both fields extracted.
+        let r = run_program(&p, &fields, &BitString::from_u64(0b0101_1100, 8), 10);
+        assert_eq!(r.status, ParseStatus::Accept);
+        assert_eq!(r.dict.get(FieldId(0)).unwrap().to_u64(), 0b0101);
+        assert_eq!(r.dict.get(FieldId(1)).unwrap().to_u64(), 0b1100);
+        // First bit 1: only field_0.
+        let r = run_program(&p, &fields, &BitString::from_u64(0b1101_1100, 8), 10);
+        assert_eq!(r.status, ParseStatus::Accept);
+        assert!(r.dict.get(FieldId(1)).is_none());
+    }
+
+    #[test]
+    fn no_matching_entry_rejects() {
+        let (mut p, fields) = table1_impl2();
+        p.states[1].entries.pop(); // remove the "1" entry
+        let r = run_program(&p, &fields, &BitString::from_u64(0b1101_1100, 8), 10);
+        assert_eq!(r.status, ParseStatus::Reject);
+    }
+
+    #[test]
+    fn loop_entry_strips_repeated_headers() {
+        // Single state: extract a 4-bit label; loop while its first bit is 1
+        // (the MPLS bottom-of-stack idiom), accept otherwise.  Demonstrates
+        // the single-TCAM-table loop capability of §3.1.
+        let fields =
+            vec![Field::fixed("l0", 4), Field::fixed("l1", 4), Field::fixed("l2", 4)];
+        // Using lookahead to decide which label slot to fill is beyond this
+        // toy; instead chain 3 states with loop-back on the last.
+        let program = TcamProgram {
+            device: DeviceProfile::tofino(),
+            states: vec![HwState {
+                name: "mpls".into(),
+                stage: 0,
+                key: vec![KeyPart::Lookahead { start: 0, end: 1 }],
+                entries: vec![
+                    HwEntry {
+                        pattern: Ternary::parse("1").unwrap(),
+                        extracts: vec![FieldId(0)],
+                        next: HwNext::State(HwStateId(0)), // loop back
+                    },
+                    HwEntry {
+                        pattern: Ternary::parse("0").unwrap(),
+                        extracts: vec![FieldId(1)],
+                        next: HwNext::Accept,
+                    },
+                ],
+            }],
+            start: HwStateId(0),
+        };
+        // 1xxx 1xxx 0yyy: two loop iterations then accept.
+        let input = BitString::from_u64(0b1010_1100_0111, 12);
+        let r = run_program(&program, &fields, &input, 10);
+        assert_eq!(r.status, ParseStatus::Accept);
+        assert_eq!(r.path, vec![0, 0, 0]);
+        // Last loop extraction wins for l0 (re-extraction semantics).
+        assert_eq!(r.dict.get(FieldId(0)).unwrap().to_u64(), 0b1100);
+        assert_eq!(r.dict.get(FieldId(1)).unwrap().to_u64(), 0b0111);
+    }
+
+    #[test]
+    fn iteration_budget_on_tight_loop() {
+        let fields = vec![Field::fixed("f", 1)];
+        let program = TcamProgram {
+            device: DeviceProfile::tofino(),
+            states: vec![HwState {
+                name: "spin".into(),
+                stage: 0,
+                key: vec![],
+                entries: vec![HwEntry {
+                    pattern: Ternary::any(0),
+                    extracts: vec![],
+                    next: HwNext::State(HwStateId(0)),
+                }],
+            }],
+            start: HwStateId(0),
+        };
+        let r = run_program(&program, &fields, &BitString::zeros(8), 5);
+        assert_eq!(r.status, ParseStatus::IterationBudget);
+        assert_eq!(r.path.len(), 5);
+    }
+
+    #[test]
+    fn out_of_input_on_short_stream() {
+        let (p, fields) = table1_impl2();
+        let r = run_program(&p, &fields, &BitString::from_u64(0b01, 2), 10);
+        assert_eq!(r.status, ParseStatus::OutOfInput);
+    }
+}

@@ -1,0 +1,27 @@
+//! # ph-ir
+//!
+//! The parser-specification IR and its reference semantics.
+//!
+//! A parser specification is a finite-state machine (§2.1 of the paper):
+//! each state extracts packet fields from the bitstream and selects the next
+//! state by matching a *transition key* — a concatenation of already
+//! extracted field slices and/or lookahead bits — against ternary patterns.
+//!
+//! This crate provides:
+//!
+//! * [`ParserSpec`] and friends — the IR produced by the `ph-p4f` front end;
+//! * [`sim`] — the executable reference semantics (`Spec(I)` from §4): feed a
+//!   bitstream, get back the output dictionary mapping fields to values;
+//! * [`analysis`] — the paper's *Code Analyzer*: key-bit usage (Opt1),
+//!   irrelevant fields (Opt2), constants present in the spec (Opt4),
+//!   loop-freedom (Opt7.1) and path-length bounds (the CEGIS `K`).
+
+pub mod analysis;
+pub mod sim;
+mod spec;
+
+pub use sim::{simulate, OutputDict, ParseStatus, SimResult};
+pub use spec::{
+    Field, FieldId, FieldKind, KeyPart, NextState, ParserSpec, SpecError, State, StateId,
+    Transition, VarLen,
+};

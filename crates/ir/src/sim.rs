@@ -1,0 +1,383 @@
+//! Reference semantics: the executable `Spec(I)` of §4 / Fig. 7.
+//!
+//! The simulator walks the specification FSM over a concrete input
+//! bitstream, producing the output dictionary that any compiled
+//! implementation must reproduce (and a parse status).  It is the oracle of
+//! the CEGIS loop's test cases and of the Fig. 22 validation simulator.
+
+use crate::spec::{FieldId, FieldKind, KeyPart, NextState, ParserSpec};
+use ph_bits::BitString;
+use std::fmt;
+
+/// How a parse terminated.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ParseStatus {
+    /// Reached `accept`.
+    Accept,
+    /// Reached `reject` via an explicit transition.
+    Reject,
+    /// Ran past the end of the input while extracting a field.  (Lookahead
+    /// reads past the end return zeros instead — hardware pads short
+    /// packets — so only extraction can run out.)
+    OutOfInput,
+    /// Exceeded the iteration budget (a loop in the spec with this input).
+    IterationBudget,
+}
+
+/// The output dictionary: field → extracted value (absent if never
+/// extracted).  Repeated extraction of the same field keeps the **last**
+/// value (P4 semantics for re-extraction into the same header instance).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OutputDict {
+    values: Vec<Option<BitString>>,
+}
+
+impl OutputDict {
+    /// An empty dictionary over `n` fields.
+    pub fn new(n: usize) -> OutputDict {
+        OutputDict { values: vec![None; n] }
+    }
+
+    /// The value of field `f`, if extracted.
+    pub fn get(&self, f: FieldId) -> Option<&BitString> {
+        self.values[f.0].as_ref()
+    }
+
+    /// Sets the value of field `f`.
+    pub fn set(&mut self, f: FieldId, v: BitString) {
+        self.values[f.0] = Some(v);
+    }
+
+    /// Number of fields in the dictionary's domain.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no field was extracted.
+    pub fn is_empty(&self) -> bool {
+        self.values.iter().all(Option::is_none)
+    }
+
+    /// Iterates `(field, value)` for extracted fields.
+    pub fn iter(&self) -> impl Iterator<Item = (FieldId, &BitString)> {
+        self.values
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_ref().map(|b| (FieldId(i), b)))
+    }
+}
+
+/// Result of simulating a specification on one input.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SimResult {
+    /// Termination status.
+    pub status: ParseStatus,
+    /// The output dictionary at termination.
+    pub dict: OutputDict,
+    /// The sequence of state ids visited (useful for path-coverage tests).
+    pub path: Vec<usize>,
+    /// Bits consumed from the input.
+    pub consumed: usize,
+}
+
+impl fmt::Display for SimResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} after {} bits", self.status, self.consumed)
+    }
+}
+
+/// Runs the specification on `input` for at most `max_iters` state visits.
+///
+/// Varbit fields consume `control * multiplier + offset` bits (clamped to
+/// `[0, width]`); their dictionary value is the extracted bits zero-padded on
+/// the left to the declared width so dictionary comparison stays
+/// width-uniform.
+pub fn simulate(spec: &ParserSpec, input: &BitString, max_iters: usize) -> SimResult {
+    let mut dict = OutputDict::new(spec.fields.len());
+    let mut pos = 0usize;
+    let mut path = Vec::new();
+    let mut current = spec.start;
+
+    for _ in 0..max_iters {
+        path.push(current.0);
+        let st = spec.state(current);
+
+        // Extraction phase.
+        for &fid in &st.extracts {
+            let field = spec.field(fid);
+            let take = match &field.kind {
+                FieldKind::Fixed => field.width,
+                FieldKind::Var(v) => {
+                    let ctrl = match dict.get(v.control) {
+                        Some(b) => b.to_u64() as i64,
+                        None => 0,
+                    };
+                    (ctrl * v.multiplier + v.offset).clamp(0, field.width as i64) as usize
+                }
+            };
+            if pos + take > input.len() {
+                return SimResult { status: ParseStatus::OutOfInput, dict, path, consumed: pos };
+            }
+            let raw = input.slice(pos, pos + take);
+            pos += take;
+            // Left-pad varbit values to declared width.
+            let value = if raw.len() < field.width {
+                BitString::zeros(field.width - raw.len()).concat(&raw)
+            } else {
+                raw
+            };
+            dict.set(fid, value);
+        }
+
+        // Key construction.
+        let next = if st.key.is_empty() {
+            st.default
+        } else {
+            let mut key = BitString::empty();
+            for kp in &st.key {
+                match *kp {
+                    KeyPart::Slice { field, start, end } => {
+                        let Some(v) = dict.get(field) else {
+                            // Keying on a never-extracted field: undefined in
+                            // P4; we define it as zeros (bmv2 behaviour).
+                            key = key.concat(&BitString::zeros(end - start));
+                            continue;
+                        };
+                        key = key.concat(&v.slice(start, end));
+                    }
+                    KeyPart::Lookahead { start, end } => {
+                        // Hardware pads short packets: lookahead bits past
+                        // the end of the input read as zeros.
+                        for i in start..end {
+                            let bit =
+                                if pos + i < input.len() { input.get(pos + i) } else { false };
+                            key.push(bit);
+                        }
+                    }
+                }
+            }
+            st.transitions
+                .iter()
+                .find(|t| t.pattern.matches(&key))
+                .map(|t| t.next)
+                .unwrap_or(st.default)
+        };
+
+        match next {
+            NextState::Accept => {
+                return SimResult { status: ParseStatus::Accept, dict, path, consumed: pos }
+            }
+            NextState::Reject => {
+                return SimResult { status: ParseStatus::Reject, dict, path, consumed: pos }
+            }
+            NextState::State(s) => current = s,
+        }
+    }
+    SimResult { status: ParseStatus::IterationBudget, dict, path, consumed: pos }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Field, NextState, State, StateId, Transition, VarLen};
+    use ph_bits::Ternary;
+
+    fn fig7_spec1() -> ParserSpec {
+        // Extract field_0 then field_1 unconditionally.
+        ParserSpec {
+            fields: vec![Field::fixed("field_0", 4), Field::fixed("field_1", 4)],
+            states: vec![
+                State {
+                    name: "State0".into(),
+                    extracts: vec![FieldId(0)],
+                    key: vec![],
+                    transitions: vec![],
+                    default: NextState::State(StateId(1)),
+                },
+                State {
+                    name: "State1".into(),
+                    extracts: vec![FieldId(1)],
+                    key: vec![],
+                    transitions: vec![],
+                    default: NextState::Accept,
+                },
+            ],
+            start: StateId(0),
+        }
+    }
+
+    fn fig7_spec2() -> ParserSpec {
+        ParserSpec {
+            fields: vec![Field::fixed("field_0", 4), Field::fixed("field_1", 4)],
+            states: vec![
+                State {
+                    name: "State0".into(),
+                    extracts: vec![FieldId(0)],
+                    key: vec![KeyPart::Slice { field: FieldId(0), start: 0, end: 1 }],
+                    transitions: vec![Transition {
+                        pattern: Ternary::parse("0").unwrap(),
+                        next: NextState::State(StateId(1)),
+                    }],
+                    default: NextState::Accept,
+                },
+                State {
+                    name: "State1".into(),
+                    extracts: vec![FieldId(1)],
+                    key: vec![],
+                    transitions: vec![],
+                    default: NextState::Accept,
+                },
+            ],
+            start: StateId(0),
+        }
+    }
+
+    #[test]
+    fn spec1_extracts_both_fields() {
+        let spec = fig7_spec1();
+        let input = BitString::from_u64(0b1010_0110, 8);
+        let r = simulate(&spec, &input, 10);
+        assert_eq!(r.status, ParseStatus::Accept);
+        assert_eq!(r.dict.get(FieldId(0)).unwrap().to_u64(), 0b1010);
+        assert_eq!(r.dict.get(FieldId(1)).unwrap().to_u64(), 0b0110);
+        assert_eq!(r.consumed, 8);
+    }
+
+    #[test]
+    fn spec2_conditional_on_first_bit() {
+        let spec = fig7_spec2();
+        // First bit of field_0 is 0 -> extract field_1 too.
+        let r = simulate(&spec, &BitString::from_u64(0b0110_1111, 8), 10);
+        assert_eq!(r.status, ParseStatus::Accept);
+        assert_eq!(r.dict.get(FieldId(1)).unwrap().to_u64(), 0b1111);
+        // First bit 1 -> accept immediately, field_1 absent.
+        let r = simulate(&spec, &BitString::from_u64(0b1110_1111, 8), 10);
+        assert_eq!(r.status, ParseStatus::Accept);
+        assert!(r.dict.get(FieldId(1)).is_none());
+        assert_eq!(r.consumed, 4);
+    }
+
+    #[test]
+    fn out_of_input_during_extract() {
+        let spec = fig7_spec1();
+        let r = simulate(&spec, &BitString::from_u64(0b101, 3), 10);
+        assert_eq!(r.status, ParseStatus::OutOfInput);
+        assert!(r.dict.is_empty());
+    }
+
+    #[test]
+    fn reject_transition() {
+        let mut spec = fig7_spec2();
+        spec.states[0].default = NextState::Reject;
+        let r = simulate(&spec, &BitString::from_u64(0b1111_0000, 8), 10);
+        assert_eq!(r.status, ParseStatus::Reject);
+    }
+
+    #[test]
+    fn loop_hits_iteration_budget() {
+        let mut spec = fig7_spec1();
+        spec.states[1].default = NextState::State(StateId(0));
+        let r = simulate(&spec, &BitString::zeros(1024), 16);
+        assert_eq!(r.status, ParseStatus::IterationBudget);
+        assert_eq!(r.path.len(), 16);
+    }
+
+    #[test]
+    fn lookahead_key() {
+        // Key on 2 lookahead bits before extracting anything.
+        let spec = ParserSpec {
+            fields: vec![Field::fixed("f", 4)],
+            states: vec![
+                State {
+                    name: "s0".into(),
+                    extracts: vec![],
+                    key: vec![KeyPart::Lookahead { start: 0, end: 2 }],
+                    transitions: vec![Transition {
+                        pattern: Ternary::parse("11").unwrap(),
+                        next: NextState::State(StateId(1)),
+                    }],
+                    default: NextState::Accept,
+                },
+                State {
+                    name: "s1".into(),
+                    extracts: vec![FieldId(0)],
+                    key: vec![],
+                    transitions: vec![],
+                    default: NextState::Accept,
+                },
+            ],
+            start: StateId(0),
+        };
+        let r = simulate(&spec, &BitString::from_u64(0b1101, 4), 10);
+        assert_eq!(r.dict.get(FieldId(0)).unwrap().to_u64(), 0b1101);
+        let r = simulate(&spec, &BitString::from_u64(0b0101, 4), 10);
+        assert!(r.dict.get(FieldId(0)).is_none());
+    }
+
+    #[test]
+    fn varbit_length_from_control() {
+        // control (4 bits) then varbit of control*2 bits, max 8.
+        let spec = ParserSpec {
+            fields: vec![
+                Field::fixed("ctl", 4),
+                Field {
+                    name: "opts".into(),
+                    width: 8,
+                    kind: FieldKind::Var(VarLen {
+                        control: FieldId(0),
+                        multiplier: 2,
+                        offset: 0,
+                    }),
+                },
+            ],
+            states: vec![State {
+                name: "s0".into(),
+                extracts: vec![FieldId(0), FieldId(1)],
+                key: vec![],
+                transitions: vec![],
+                default: NextState::Accept,
+            }],
+            start: StateId(0),
+        };
+        // ctl = 3 -> take 6 bits, left-padded to 8.
+        let input = BitString::from_u64(0b0011_110101, 10);
+        let r = simulate(&spec, &input, 10);
+        assert_eq!(r.status, ParseStatus::Accept);
+        assert_eq!(r.dict.get(FieldId(1)).unwrap().to_u64(), 0b00_110101);
+        assert_eq!(r.consumed, 10);
+        // ctl = 0 -> zero-length varbit.
+        let input = BitString::from_u64(0b0000, 4);
+        let r = simulate(&spec, &input, 10);
+        assert_eq!(r.status, ParseStatus::Accept);
+        assert_eq!(r.dict.get(FieldId(1)).unwrap().to_u64(), 0);
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let spec = ParserSpec {
+            fields: vec![Field::fixed("f", 2)],
+            states: vec![
+                State {
+                    name: "s0".into(),
+                    extracts: vec![FieldId(0)],
+                    key: vec![KeyPart::field(FieldId(0), 2)],
+                    transitions: vec![
+                        Transition {
+                            pattern: Ternary::parse("1*").unwrap(),
+                            next: NextState::Accept,
+                        },
+                        Transition {
+                            pattern: Ternary::parse("11").unwrap(),
+                            next: NextState::Reject,
+                        },
+                    ],
+                    default: NextState::Reject,
+                },
+            ],
+            start: StateId(0),
+        };
+        // 11 matches both rules; the first (Accept) must win.
+        let r = simulate(&spec, &BitString::from_u64(0b11, 2), 10);
+        assert_eq!(r.status, ParseStatus::Accept);
+    }
+}

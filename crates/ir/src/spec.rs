@@ -1,0 +1,388 @@
+//! The parser-specification data model.
+
+use ph_bits::Ternary;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a packet field within a [`ParserSpec`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct FieldId(pub usize);
+
+/// Index of a parser state within a [`ParserSpec`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct StateId(pub usize);
+
+/// How a field's extracted length is determined.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum FieldKind {
+    /// Length fixed at compile time (the field's `width`).
+    Fixed,
+    /// `varbit`: length decided at run time from a previously extracted
+    /// control field (Opt6 / §6.6). `width` is the maximum length.
+    Var(VarLen),
+}
+
+/// Runtime length rule for a varbit field:
+/// `len = control_value * multiplier + offset`, clamped to `[0, width]`.
+///
+/// This covers the common IPv4-options pattern
+/// (`len = (IHL - 5) * 32` bits).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct VarLen {
+    /// The field whose extracted value controls the length.
+    pub control: FieldId,
+    /// Bits per unit of the control value.
+    pub multiplier: i64,
+    /// Constant bias in bits (may be negative).
+    pub offset: i64,
+}
+
+/// A packet field (one entry of the output dictionary).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Field {
+    /// Fully qualified display name, e.g. `"ethernet.etherType"`.
+    pub name: String,
+    /// Width in bits (maximum width for varbit fields).
+    pub width: usize,
+    /// Fixed or varbit.
+    pub kind: FieldKind,
+}
+
+impl Field {
+    /// A fixed-width field.
+    pub fn fixed(name: impl Into<String>, width: usize) -> Field {
+        Field { name: name.into(), width, kind: FieldKind::Fixed }
+    }
+}
+
+/// One component of a transition key.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum KeyPart {
+    /// Bits `[start, end)` of an already extracted field.
+    Slice {
+        /// The source field.
+        field: FieldId,
+        /// First bit (0 = field's most-significant bit).
+        start: usize,
+        /// One past the last bit.
+        end: usize,
+    },
+    /// Bits `[start, end)` ahead of the current extraction cursor
+    /// (not yet extracted).
+    Lookahead {
+        /// First bit relative to the cursor.
+        start: usize,
+        /// One past the last bit.
+        end: usize,
+    },
+}
+
+impl KeyPart {
+    /// A whole-field key part.
+    pub fn field(f: FieldId, width: usize) -> KeyPart {
+        KeyPart::Slice { field: f, start: 0, end: width }
+    }
+
+    /// Width of this key part in bits.
+    pub fn width(&self) -> usize {
+        match *self {
+            KeyPart::Slice { start, end, .. } | KeyPart::Lookahead { start, end } => end - start,
+        }
+    }
+}
+
+/// Where a transition goes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum NextState {
+    /// Another parser state.
+    State(StateId),
+    /// Parsing completed successfully.
+    Accept,
+    /// The packet is rejected.
+    Reject,
+}
+
+/// A single select rule: ternary pattern over the state's key → next state.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Transition {
+    /// The pattern; width must equal the state's key width.
+    pub pattern: Ternary,
+    /// Target when the pattern matches.
+    pub next: NextState,
+}
+
+/// A parser state: ordered field extractions, then a keyed select.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct State {
+    /// Display name, e.g. `"parse_ipv4"`.
+    pub name: String,
+    /// Fields extracted on entry, in order.
+    pub extracts: Vec<FieldId>,
+    /// The transition key; empty means the default transition is taken
+    /// unconditionally.
+    pub key: Vec<KeyPart>,
+    /// Select rules, first match wins.
+    pub transitions: Vec<Transition>,
+    /// Taken when no rule matches (P4's `default`).
+    pub default: NextState,
+}
+
+impl State {
+    /// Total key width in bits.
+    pub fn key_width(&self) -> usize {
+        self.key.iter().map(KeyPart::width).sum()
+    }
+}
+
+/// A complete parser specification.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ParserSpec {
+    /// All packet fields (the output dictionary's domain).
+    pub fields: Vec<Field>,
+    /// All parser states.
+    pub states: Vec<State>,
+    /// Entry state.
+    pub start: StateId,
+}
+
+/// Structural validation errors.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SpecError {
+    /// A state/field index was out of range.
+    BadIndex(String),
+    /// A transition pattern's width differs from the state's key width.
+    PatternWidth { state: String, pattern_width: usize, key_width: usize },
+    /// A key slice exceeds its field's width.
+    SliceRange { state: String, field: String },
+    /// A varbit control reference is invalid.
+    BadVarLen(String),
+    /// The spec has no states.
+    Empty,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::BadIndex(m) => write!(f, "bad index: {m}"),
+            SpecError::PatternWidth { state, pattern_width, key_width } => write!(
+                f,
+                "state {state}: pattern width {pattern_width} != key width {key_width}"
+            ),
+            SpecError::SliceRange { state, field } => {
+                write!(f, "state {state}: key slice out of range for field {field}")
+            }
+            SpecError::BadVarLen(m) => write!(f, "bad varbit length rule: {m}"),
+            SpecError::Empty => write!(f, "parser has no states"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl ParserSpec {
+    /// Looks a field up by name.
+    pub fn field_by_name(&self, name: &str) -> Option<FieldId> {
+        self.fields.iter().position(|f| f.name == name).map(FieldId)
+    }
+
+    /// Looks a state up by name.
+    pub fn state_by_name(&self, name: &str) -> Option<StateId> {
+        self.states.iter().position(|s| s.name == name).map(StateId)
+    }
+
+    /// The field table entry.
+    pub fn field(&self, f: FieldId) -> &Field {
+        &self.fields[f.0]
+    }
+
+    /// The state table entry.
+    pub fn state(&self, s: StateId) -> &State {
+        &self.states[s.0]
+    }
+
+    /// Validates all cross-references and widths.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural problem found.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.states.is_empty() {
+            return Err(SpecError::Empty);
+        }
+        if self.start.0 >= self.states.len() {
+            return Err(SpecError::BadIndex(format!("start state {}", self.start.0)));
+        }
+        for (fi, f) in self.fields.iter().enumerate() {
+            if f.width == 0 {
+                return Err(SpecError::BadIndex(format!("field {} has zero width", f.name)));
+            }
+            if let FieldKind::Var(v) = &f.kind {
+                if v.control.0 >= self.fields.len() {
+                    return Err(SpecError::BadVarLen(format!(
+                        "field {} control out of range",
+                        f.name
+                    )));
+                }
+                if v.control.0 == fi {
+                    return Err(SpecError::BadVarLen(format!(
+                        "field {} controls its own length",
+                        f.name
+                    )));
+                }
+            }
+        }
+        for st in &self.states {
+            for &e in &st.extracts {
+                if e.0 >= self.fields.len() {
+                    return Err(SpecError::BadIndex(format!(
+                        "state {} extracts unknown field {}",
+                        st.name, e.0
+                    )));
+                }
+            }
+            for kp in &st.key {
+                match *kp {
+                    KeyPart::Slice { field, start, end } => {
+                        if field.0 >= self.fields.len() {
+                            return Err(SpecError::BadIndex(format!(
+                                "state {} keys on unknown field {}",
+                                st.name, field.0
+                            )));
+                        }
+                        let fw = self.fields[field.0].width;
+                        if start >= end || end > fw {
+                            return Err(SpecError::SliceRange {
+                                state: st.name.clone(),
+                                field: self.fields[field.0].name.clone(),
+                            });
+                        }
+                    }
+                    KeyPart::Lookahead { start, end } => {
+                        if start >= end {
+                            return Err(SpecError::SliceRange {
+                                state: st.name.clone(),
+                                field: "<lookahead>".into(),
+                            });
+                        }
+                    }
+                }
+            }
+            let kw = st.key_width();
+            for tr in &st.transitions {
+                if tr.pattern.width() != kw {
+                    return Err(SpecError::PatternWidth {
+                        state: st.name.clone(),
+                        pattern_width: tr.pattern.width(),
+                        key_width: kw,
+                    });
+                }
+                if let NextState::State(n) = tr.next {
+                    if n.0 >= self.states.len() {
+                        return Err(SpecError::BadIndex(format!(
+                            "state {} transitions to unknown state {}",
+                            st.name, n.0
+                        )));
+                    }
+                }
+            }
+            if let NextState::State(n) = st.default {
+                if n.0 >= self.states.len() {
+                    return Err(SpecError::BadIndex(format!(
+                        "state {} defaults to unknown state {}",
+                        st.name, n.0
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny two-state spec used across the IR tests: Spec2 from Fig. 7.
+    pub(crate) fn fig7_spec2() -> ParserSpec {
+        ParserSpec {
+            fields: vec![Field::fixed("field_0", 4), Field::fixed("field_1", 4)],
+            states: vec![
+                State {
+                    name: "State0".into(),
+                    extracts: vec![FieldId(0)],
+                    key: vec![KeyPart::Slice { field: FieldId(0), start: 0, end: 1 }],
+                    transitions: vec![Transition {
+                        pattern: Ternary::parse("0").unwrap(),
+                        next: NextState::State(StateId(1)),
+                    }],
+                    default: NextState::Accept,
+                },
+                State {
+                    name: "State1".into(),
+                    extracts: vec![FieldId(1)],
+                    key: vec![],
+                    transitions: vec![],
+                    default: NextState::Accept,
+                },
+            ],
+            start: StateId(0),
+        }
+    }
+
+    #[test]
+    fn validate_accepts_fig7() {
+        assert_eq!(fig7_spec2().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_bad_pattern_width() {
+        let mut s = fig7_spec2();
+        s.states[0].transitions[0].pattern = Ternary::parse("01").unwrap();
+        assert!(matches!(s.validate(), Err(SpecError::PatternWidth { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_bad_slice() {
+        let mut s = fig7_spec2();
+        s.states[0].key = vec![KeyPart::Slice { field: FieldId(0), start: 2, end: 9 }];
+        assert!(matches!(s.validate(), Err(SpecError::SliceRange { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_state() {
+        let mut s = fig7_spec2();
+        s.states[0].transitions[0].next = NextState::State(StateId(7));
+        assert!(matches!(s.validate(), Err(SpecError::BadIndex(_))));
+    }
+
+    #[test]
+    fn validate_rejects_self_controlling_varbit() {
+        let mut s = fig7_spec2();
+        s.fields[0].kind =
+            FieldKind::Var(VarLen { control: FieldId(0), multiplier: 1, offset: 0 });
+        assert!(matches!(s.validate(), Err(SpecError::BadVarLen(_))));
+    }
+
+    #[test]
+    fn lookups_by_name() {
+        let s = fig7_spec2();
+        assert_eq!(s.field_by_name("field_1"), Some(FieldId(1)));
+        assert_eq!(s.state_by_name("State1"), Some(StateId(1)));
+        assert_eq!(s.field_by_name("nope"), None);
+    }
+
+    #[test]
+    fn key_width_sums_parts() {
+        let st = State {
+            name: "s".into(),
+            extracts: vec![],
+            key: vec![
+                KeyPart::Slice { field: FieldId(0), start: 0, end: 3 },
+                KeyPart::Lookahead { start: 0, end: 5 },
+            ],
+            transitions: vec![],
+            default: NextState::Accept,
+        };
+        assert_eq!(st.key_width(), 8);
+    }
+}

@@ -1,0 +1,281 @@
+//! Tokenizer for the P4-subset parser language.
+
+use std::fmt;
+
+/// A lexical token with its source line (1-based) for error reporting.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    pub kind: TokKind,
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Decimal or hex number.
+    Number(u64),
+    /// Binary literal possibly containing `*` wildcards, without the `0b`.
+    BinaryPattern(String),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Colon,
+    Semi,
+    Comma,
+    Dot,
+    /// P4's ternary mask operator `&&&`.
+    MaskOp,
+    /// Unary minus for negative varbit offsets.
+    Minus,
+    Eof,
+}
+
+impl fmt::Display for TokKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokKind::Number(n) => write!(f, "number {n}"),
+            TokKind::BinaryPattern(s) => write!(f, "binary pattern 0b{s}"),
+            TokKind::LBrace => write!(f, "`{{`"),
+            TokKind::RBrace => write!(f, "`}}`"),
+            TokKind::LParen => write!(f, "`(`"),
+            TokKind::RParen => write!(f, "`)`"),
+            TokKind::LBracket => write!(f, "`[`"),
+            TokKind::RBracket => write!(f, "`]`"),
+            TokKind::Colon => write!(f, "`:`"),
+            TokKind::Semi => write!(f, "`;`"),
+            TokKind::Comma => write!(f, "`,`"),
+            TokKind::Dot => write!(f, "`.`"),
+            TokKind::MaskOp => write!(f, "`&&&`"),
+            TokKind::Minus => write!(f, "`-`"),
+            TokKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Tokenizes source text.  `//` line comments and `/* */` block comments are
+/// skipped.
+pub fn lex(src: &str) -> Result<Vec<Token>, String> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= bytes.len() {
+                    return Err(format!("line {line}: unterminated block comment"));
+                }
+                i += 2;
+            }
+            '{' => {
+                out.push(Token { kind: TokKind::LBrace, line });
+                i += 1;
+            }
+            '}' => {
+                out.push(Token { kind: TokKind::RBrace, line });
+                i += 1;
+            }
+            '(' => {
+                out.push(Token { kind: TokKind::LParen, line });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { kind: TokKind::RParen, line });
+                i += 1;
+            }
+            '[' => {
+                out.push(Token { kind: TokKind::LBracket, line });
+                i += 1;
+            }
+            ']' => {
+                out.push(Token { kind: TokKind::RBracket, line });
+                i += 1;
+            }
+            ':' => {
+                out.push(Token { kind: TokKind::Colon, line });
+                i += 1;
+            }
+            ';' => {
+                out.push(Token { kind: TokKind::Semi, line });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token { kind: TokKind::Comma, line });
+                i += 1;
+            }
+            '.' => {
+                out.push(Token { kind: TokKind::Dot, line });
+                i += 1;
+            }
+            '-' => {
+                out.push(Token { kind: TokKind::Minus, line });
+                i += 1;
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&'&') && bytes.get(i + 2) == Some(&'&') {
+                    out.push(Token { kind: TokKind::MaskOp, line });
+                    i += 3;
+                } else {
+                    return Err(format!("line {line}: stray `&` (expected `&&&`)"));
+                }
+            }
+            '0' if bytes.get(i + 1) == Some(&'b') || bytes.get(i + 1) == Some(&'B') => {
+                i += 2;
+                let mut s = String::new();
+                while i < bytes.len()
+                    && (bytes[i] == '0' || bytes[i] == '1' || bytes[i] == '*' || bytes[i] == '_')
+                {
+                    if bytes[i] != '_' {
+                        s.push(bytes[i]);
+                    }
+                    i += 1;
+                }
+                if s.is_empty() {
+                    return Err(format!("line {line}: empty binary literal"));
+                }
+                out.push(Token { kind: TokKind::BinaryPattern(s), line });
+            }
+            '0' if bytes.get(i + 1) == Some(&'x') || bytes.get(i + 1) == Some(&'X') => {
+                i += 2;
+                let mut s = String::new();
+                while i < bytes.len() && (bytes[i].is_ascii_hexdigit() || bytes[i] == '_') {
+                    if bytes[i] != '_' {
+                        s.push(bytes[i]);
+                    }
+                    i += 1;
+                }
+                let v = u64::from_str_radix(&s, 16)
+                    .map_err(|e| format!("line {line}: bad hex literal: {e}"))?;
+                out.push(Token { kind: TokKind::Number(v), line });
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '_') {
+                    if bytes[i] != '_' {
+                        s.push(bytes[i]);
+                    }
+                    i += 1;
+                }
+                let v: u64 =
+                    s.parse().map_err(|e| format!("line {line}: bad number: {e}"))?;
+                out.push(Token { kind: TokKind::Number(v), line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    s.push(bytes[i]);
+                    i += 1;
+                }
+                out.push(Token { kind: TokKind::Ident(s), line });
+            }
+            other => return Err(format!("line {line}: unexpected character `{other}`")),
+        }
+    }
+    out.push(Token { kind: TokKind::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("state start { extract(x); }"),
+            vec![
+                TokKind::Ident("state".into()),
+                TokKind::Ident("start".into()),
+                TokKind::LBrace,
+                TokKind::Ident("extract".into()),
+                TokKind::LParen,
+                TokKind::Ident("x".into()),
+                TokKind::RParen,
+                TokKind::Semi,
+                TokKind::RBrace,
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_patterns() {
+        assert_eq!(
+            kinds("0x0800 42 0b1**0 0b10_10"),
+            vec![
+                TokKind::Number(0x800),
+                TokKind::Number(42),
+                TokKind::BinaryPattern("1**0".into()),
+                TokKind::BinaryPattern("1010".into()),
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn mask_operator() {
+        assert_eq!(
+            kinds("5 &&& 7"),
+            vec![TokKind::Number(5), TokKind::MaskOp, TokKind::Number(7), TokKind::Eof]
+        );
+        assert!(lex("5 & 7").is_err());
+    }
+
+    #[test]
+    fn comments_skipped_lines_counted() {
+        let toks = lex("// hi\n/* multi\nline */ foo").unwrap();
+        assert_eq!(toks[0].kind, TokKind::Ident("foo".into()));
+        assert_eq!(toks[0].line, 3);
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn slices_and_dots() {
+        assert_eq!(
+            kinds("a.b[0:4]"),
+            vec![
+                TokKind::Ident("a".into()),
+                TokKind::Dot,
+                TokKind::Ident("b".into()),
+                TokKind::LBracket,
+                TokKind::Number(0),
+                TokKind::Colon,
+                TokKind::Number(4),
+                TokKind::RBracket,
+                TokKind::Eof
+            ]
+        );
+    }
+}

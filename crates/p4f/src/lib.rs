@@ -1,0 +1,41 @@
+//! # ph-p4f
+//!
+//! A front end for a P4-style parser language, producing [`ph_ir::ParserSpec`].
+//!
+//! ParserHawk's input is "a specification written in a high-level language"
+//! (§4) — P4's parser sub-language.  This crate implements the subset that
+//! the paper's benchmarks exercise:
+//!
+//! * `header` declarations with fixed-width fields and `varbit` fields whose
+//!   runtime length is an affine function of a control field (Opt6);
+//! * `parser { state ... }` blocks with ordered `extract(...)` statements;
+//! * `transition select(key...)` with ternary patterns — decimal / hex
+//!   constants, binary wildcard literals (`0b1**0`), and P4's
+//!   `value &&& mask` form — plus `default`;
+//! * transition keys built from extracted field slices
+//!   (`hdr.field`, `hdr.field[2:5]`) and `lookahead(start, end)` bits;
+//! * `accept` / `reject` terminal states.
+//!
+//! # Example
+//!
+//! ```
+//! let spec = ph_p4f::parse_parser(r#"
+//!     header eth_t { dst : 48; src : 48; etherType : 16; }
+//!     parser {
+//!         state start {
+//!             extract(eth_t);
+//!             transition select(eth_t.etherType) {
+//!                 0x0800  : accept;
+//!                 default : reject;
+//!             }
+//!         }
+//!     }
+//! "#).unwrap();
+//! assert_eq!(spec.fields.len(), 3);
+//! assert_eq!(spec.states.len(), 1);
+//! ```
+
+mod lexer;
+mod parser;
+
+pub use parser::{parse_parser, ParseError};

@@ -1,0 +1,721 @@
+//! Recursive-descent parser building a [`ParserSpec`] from source text.
+
+use crate::lexer::{lex, TokKind, Token};
+use ph_bits::{BitString, Ternary};
+use ph_ir::{
+    Field, FieldId, FieldKind, KeyPart, NextState, ParserSpec, State, StateId, Transition, VarLen,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A front-end error with a source line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based source line, 0 when unknown.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a complete program (header declarations followed by one
+/// `parser { ... }` block) into a validated [`ParserSpec`].
+///
+/// The entry state is the state named `start`.
+///
+/// # Errors
+///
+/// Lexical, syntactic, name-resolution and structural-validation problems
+/// are all reported as [`ParseError`].
+pub fn parse_parser(src: &str) -> Result<ParserSpec, ParseError> {
+    let tokens = lex(src).map_err(|m| ParseError { line: 0, message: m })?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+struct PendingState {
+    name: String,
+    extracts: Vec<FieldId>,
+    key: Vec<KeyPart>,
+    /// Patterns with unresolved targets (state names).
+    rules: Vec<(PendingPattern, String, usize)>,
+    default: Option<(String, usize)>,
+}
+
+enum PendingPattern {
+    Exact(u64),
+    Masked(u64, u64),
+    Binary(String),
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { line: self.peek().line, message: msg.into() })
+    }
+
+    fn expect(&mut self, kind: &TokKind) -> Result<Token, ParseError> {
+        if &self.peek().kind == kind {
+            Ok(self.next())
+        } else {
+            self.err(format!("expected {kind}, found {}", self.peek().kind))
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, usize), ParseError> {
+        match self.peek().kind.clone() {
+            TokKind::Ident(s) => {
+                let line = self.peek().line;
+                self.next();
+                Ok((s, line))
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, ParseError> {
+        match self.peek().kind {
+            TokKind::Number(n) => {
+                self.next();
+                Ok(n)
+            }
+            ref other => self.err(format!("expected number, found {other}")),
+        }
+    }
+
+    fn signed_number(&mut self) -> Result<i64, ParseError> {
+        let neg = if self.peek().kind == TokKind::Minus {
+            self.next();
+            true
+        } else {
+            false
+        };
+        let n = self.number()? as i64;
+        Ok(if neg { -n } else { n })
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek().kind.clone() {
+            TokKind::Ident(s) if s == kw => {
+                self.next();
+                Ok(())
+            }
+            other => self.err(format!("expected `{kw}`, found {other}")),
+        }
+    }
+
+    fn program(&mut self) -> Result<ParserSpec, ParseError> {
+        let mut fields: Vec<Field> = Vec::new();
+        // header name -> list of (field index, short name)
+        let mut headers: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut qualified: HashMap<String, usize> = HashMap::new();
+        let mut pending_states: Option<Vec<PendingState>> = None;
+
+        loop {
+            match self.peek().kind.clone() {
+                TokKind::Eof => break,
+                TokKind::Ident(kw) if kw == "header" => {
+                    self.header(&mut fields, &mut headers, &mut qualified)?;
+                }
+                TokKind::Ident(kw) if kw == "parser" => {
+                    if pending_states.is_some() {
+                        return self.err("multiple parser blocks");
+                    }
+                    pending_states = Some(self.parser_block(&headers, &qualified, &fields)?);
+                }
+                other => return self.err(format!("expected `header` or `parser`, found {other}")),
+            }
+        }
+
+        let pending = match pending_states {
+            Some(p) => p,
+            None => return Err(ParseError { line: 0, message: "no parser block".into() }),
+        };
+
+        // Resolve state names.
+        let state_index: HashMap<String, usize> =
+            pending.iter().enumerate().map(|(i, s)| (s.name.clone(), i)).collect();
+        if state_index.len() != pending.len() {
+            return Err(ParseError { line: 0, message: "duplicate state name".into() });
+        }
+        let resolve = |name: &str, line: usize| -> Result<NextState, ParseError> {
+            match name {
+                "accept" => Ok(NextState::Accept),
+                "reject" => Ok(NextState::Reject),
+                n => state_index
+                    .get(n)
+                    .map(|&i| NextState::State(StateId(i)))
+                    .ok_or_else(|| ParseError { line, message: format!("unknown state `{n}`") }),
+            }
+        };
+
+        let mut states = Vec::with_capacity(pending.len());
+        for ps in &pending {
+            let key_width: usize = ps.key.iter().map(KeyPart::width).sum();
+            let mut transitions = Vec::new();
+            for (pat, target, line) in &ps.rules {
+                let pattern = match pat {
+                    PendingPattern::Exact(v) => {
+                        width_check(*v, key_width, *line)?;
+                        Ternary::exact(BitString::from_u64(*v, key_width))
+                    }
+                    PendingPattern::Masked(v, m) => {
+                        width_check(*v, key_width, *line)?;
+                        width_check(*m, key_width, *line)?;
+                        Ternary::new(
+                            BitString::from_u64(*v, key_width),
+                            BitString::from_u64(*m, key_width),
+                        )
+                    }
+                    PendingPattern::Binary(s) => {
+                        if s.len() != key_width {
+                            return Err(ParseError {
+                                line: *line,
+                                message: format!(
+                                    "pattern 0b{s} is {} bits but the key is {key_width} bits",
+                                    s.len()
+                                ),
+                            });
+                        }
+                        Ternary::parse(s).ok_or_else(|| ParseError {
+                            line: *line,
+                            message: format!("bad pattern 0b{s}"),
+                        })?
+                    }
+                };
+                transitions.push(Transition { pattern, next: resolve(target, *line)? });
+            }
+            let default = match &ps.default {
+                Some((t, line)) => resolve(t, *line)?,
+                None => NextState::Reject,
+            };
+            states.push(State {
+                name: ps.name.clone(),
+                extracts: ps.extracts.clone(),
+                key: ps.key.clone(),
+                transitions,
+                default,
+            });
+        }
+
+        let start = state_index.get("start").copied().map(StateId).ok_or(ParseError {
+            line: 0,
+            message: "no `start` state".into(),
+        })?;
+
+        let spec = ParserSpec { fields, states, start };
+        spec.validate().map_err(|e| ParseError { line: 0, message: e.to_string() })?;
+        Ok(spec)
+    }
+
+    fn header(
+        &mut self,
+        fields: &mut Vec<Field>,
+        headers: &mut HashMap<String, Vec<usize>>,
+        qualified: &mut HashMap<String, usize>,
+    ) -> Result<(), ParseError> {
+        self.keyword("header")?;
+        let (hname, hline) = self.ident()?;
+        if headers.contains_key(&hname) {
+            return Err(ParseError { line: hline, message: format!("duplicate header `{hname}`") });
+        }
+        self.expect(&TokKind::LBrace)?;
+        let mut members = Vec::new();
+        // Local short names for varbit control resolution.
+        let mut local: HashMap<String, usize> = HashMap::new();
+        while self.peek().kind != TokKind::RBrace {
+            let (fname, fline) = self.ident()?;
+            self.expect(&TokKind::Colon)?;
+            let (width, kind) = match self.peek().kind.clone() {
+                TokKind::Number(w) => {
+                    self.next();
+                    (w as usize, FieldKind::Fixed)
+                }
+                TokKind::Ident(kw) if kw == "varbit" => {
+                    self.next();
+                    self.expect(&TokKind::LParen)?;
+                    let max = self.number()? as usize;
+                    self.expect(&TokKind::Comma)?;
+                    let (ctl_name, ctl_line) = self.ident()?;
+                    // Allow "hdr.field" qualified control too.
+                    let ctl_idx = if self.peek().kind == TokKind::Dot {
+                        self.next();
+                        let (f2, _) = self.ident()?;
+                        let q = format!("{ctl_name}.{f2}");
+                        *qualified.get(&q).ok_or_else(|| ParseError {
+                            line: ctl_line,
+                            message: format!("unknown control field `{q}`"),
+                        })?
+                    } else {
+                        *local.get(&ctl_name).ok_or_else(|| ParseError {
+                            line: ctl_line,
+                            message: format!(
+                                "unknown control field `{ctl_name}` (must be declared earlier in this header)"
+                            ),
+                        })?
+                    };
+                    self.expect(&TokKind::Comma)?;
+                    let mult = self.signed_number()?;
+                    self.expect(&TokKind::Comma)?;
+                    let off = self.signed_number()?;
+                    self.expect(&TokKind::RParen)?;
+                    (
+                        max,
+                        FieldKind::Var(VarLen {
+                            control: FieldId(ctl_idx),
+                            multiplier: mult,
+                            offset: off,
+                        }),
+                    )
+                }
+                other => {
+                    return Err(ParseError {
+                        line: fline,
+                        message: format!("expected field width or varbit, found {other}"),
+                    })
+                }
+            };
+            self.expect(&TokKind::Semi)?;
+            let idx = fields.len();
+            fields.push(Field { name: format!("{hname}.{fname}"), width, kind });
+            qualified.insert(format!("{hname}.{fname}"), idx);
+            local.insert(fname, idx);
+            members.push(idx);
+        }
+        self.expect(&TokKind::RBrace)?;
+        headers.insert(hname, members);
+        Ok(())
+    }
+
+    fn parser_block(
+        &mut self,
+        headers: &HashMap<String, Vec<usize>>,
+        qualified: &HashMap<String, usize>,
+        fields: &[Field],
+    ) -> Result<Vec<PendingState>, ParseError> {
+        self.keyword("parser")?;
+        self.expect(&TokKind::LBrace)?;
+        let mut states = Vec::new();
+        while self.peek().kind != TokKind::RBrace {
+            states.push(self.state(headers, qualified, fields)?);
+        }
+        self.expect(&TokKind::RBrace)?;
+        Ok(states)
+    }
+
+    fn state(
+        &mut self,
+        headers: &HashMap<String, Vec<usize>>,
+        qualified: &HashMap<String, usize>,
+        fields: &[Field],
+    ) -> Result<PendingState, ParseError> {
+        self.keyword("state")?;
+        let (name, _line) = self.ident()?;
+        self.expect(&TokKind::LBrace)?;
+        let mut st = PendingState {
+            name,
+            extracts: Vec::new(),
+            key: Vec::new(),
+            rules: Vec::new(),
+            default: None,
+        };
+        loop {
+            match self.peek().kind.clone() {
+                TokKind::Ident(kw) if kw == "extract" => {
+                    self.next();
+                    self.expect(&TokKind::LParen)?;
+                    let (hname, hline) = self.ident()?;
+                    if self.peek().kind == TokKind::Dot {
+                        self.next();
+                        let (fname, _) = self.ident()?;
+                        let q = format!("{hname}.{fname}");
+                        let idx = *qualified.get(&q).ok_or_else(|| ParseError {
+                            line: hline,
+                            message: format!("unknown field `{q}`"),
+                        })?;
+                        st.extracts.push(FieldId(idx));
+                    } else {
+                        let members = headers.get(&hname).ok_or_else(|| ParseError {
+                            line: hline,
+                            message: format!("unknown header `{hname}`"),
+                        })?;
+                        st.extracts.extend(members.iter().map(|&i| FieldId(i)));
+                    }
+                    self.expect(&TokKind::RParen)?;
+                    self.expect(&TokKind::Semi)?;
+                }
+                TokKind::Ident(kw) if kw == "transition" => {
+                    self.next();
+                    self.transition(&mut st, qualified, fields)?;
+                    break;
+                }
+                other => {
+                    return Err(ParseError {
+                        line: self.peek().line,
+                        message: format!("expected `extract` or `transition`, found {other}"),
+                    })
+                }
+            }
+        }
+        self.expect(&TokKind::RBrace)?;
+        Ok(st)
+    }
+
+    fn transition(
+        &mut self,
+        st: &mut PendingState,
+        qualified: &HashMap<String, usize>,
+        fields: &[Field],
+    ) -> Result<(), ParseError> {
+        match self.peek().kind.clone() {
+            TokKind::Ident(kw) if kw == "select" => {
+                self.next();
+                self.expect(&TokKind::LParen)?;
+                loop {
+                    st.key.push(self.key_part(qualified, fields)?);
+                    if self.peek().kind == TokKind::Comma {
+                        self.next();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(&TokKind::RParen)?;
+                self.expect(&TokKind::LBrace)?;
+                while self.peek().kind != TokKind::RBrace {
+                    self.rule(st)?;
+                }
+                self.expect(&TokKind::RBrace)?;
+                Ok(())
+            }
+            TokKind::Ident(_) => {
+                let (target, line) = self.ident()?;
+                self.expect(&TokKind::Semi)?;
+                st.default = Some((target, line));
+                Ok(())
+            }
+            other => self.err(format!("expected `select` or a state name, found {other}")),
+        }
+    }
+
+    fn key_part(
+        &mut self,
+        qualified: &HashMap<String, usize>,
+        fields: &[Field],
+    ) -> Result<KeyPart, ParseError> {
+        let (first, line) = self.ident()?;
+        if first == "lookahead" {
+            self.expect(&TokKind::LParen)?;
+            let start = self.number()? as usize;
+            self.expect(&TokKind::Comma)?;
+            let end = self.number()? as usize;
+            self.expect(&TokKind::RParen)?;
+            return Ok(KeyPart::Lookahead { start, end });
+        }
+        self.expect(&TokKind::Dot)?;
+        let (fname, _) = self.ident()?;
+        let q = format!("{first}.{fname}");
+        let idx = *qualified
+            .get(&q)
+            .ok_or_else(|| ParseError { line, message: format!("unknown field `{q}`") })?;
+        let width = fields[idx].width;
+        if self.peek().kind == TokKind::LBracket {
+            self.next();
+            let start = self.number()? as usize;
+            self.expect(&TokKind::Colon)?;
+            let end = self.number()? as usize;
+            self.expect(&TokKind::RBracket)?;
+            Ok(KeyPart::Slice { field: FieldId(idx), start, end })
+        } else {
+            Ok(KeyPart::Slice { field: FieldId(idx), start: 0, end: width })
+        }
+    }
+
+    fn rule(&mut self, st: &mut PendingState) -> Result<(), ParseError> {
+        let line = self.peek().line;
+        match self.peek().kind.clone() {
+            TokKind::Ident(kw) if kw == "default" || kw == "_" => {
+                self.next();
+                self.expect(&TokKind::Colon)?;
+                let (target, tline) = self.ident()?;
+                self.expect(&TokKind::Semi)?;
+                if st.default.is_some() {
+                    return Err(ParseError { line, message: "duplicate default rule".into() });
+                }
+                st.default = Some((target, tline));
+                Ok(())
+            }
+            TokKind::Number(v) => {
+                self.next();
+                let pat = if self.peek().kind == TokKind::MaskOp {
+                    self.next();
+                    let m = self.number()?;
+                    PendingPattern::Masked(v, m)
+                } else {
+                    PendingPattern::Exact(v)
+                };
+                self.expect(&TokKind::Colon)?;
+                let (target, tline) = self.ident()?;
+                self.expect(&TokKind::Semi)?;
+                st.rules.push((pat, target, tline));
+                Ok(())
+            }
+            TokKind::BinaryPattern(s) => {
+                self.next();
+                self.expect(&TokKind::Colon)?;
+                let (target, tline) = self.ident()?;
+                self.expect(&TokKind::Semi)?;
+                st.rules.push((PendingPattern::Binary(s), target, tline));
+                Ok(())
+            }
+            other => self.err(format!("expected a select pattern, found {other}")),
+        }
+    }
+}
+
+fn width_check(v: u64, width: usize, line: usize) -> Result<(), ParseError> {
+    if width < 64 && v >= (1u64 << width) {
+        return Err(ParseError {
+            line,
+            message: format!("constant {v:#x} does not fit in the {width}-bit key"),
+        });
+    }
+    if width > 64 {
+        return Err(ParseError {
+            line,
+            message: format!("key is {width} bits; numeric patterns support at most 64 — use a binary pattern"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ph_bits::BitString;
+    use ph_ir::{analysis, simulate, ParseStatus};
+
+    const ETH_IP: &str = r#"
+        header ethernet_t { dstAddr : 48; srcAddr : 48; etherType : 16; }
+        header ipv4_t { version : 4; ihl : 4; rest : 8; }
+        parser {
+            state start {
+                extract(ethernet_t);
+                transition select(ethernet_t.etherType) {
+                    0x0800 : parse_ipv4;
+                    default : accept;
+                }
+            }
+            state parse_ipv4 {
+                extract(ipv4_t);
+                transition accept;
+            }
+        }
+    "#;
+
+    #[test]
+    fn ethernet_ip_parses() {
+        let spec = parse_parser(ETH_IP).unwrap();
+        assert_eq!(spec.fields.len(), 6);
+        assert_eq!(spec.states.len(), 2);
+        assert_eq!(spec.states[0].key_width(), 16);
+        assert_eq!(spec.start.0, 0);
+        assert_eq!(spec.states[0].transitions.len(), 1);
+        assert_eq!(spec.states[0].default, NextState::Accept);
+    }
+
+    #[test]
+    fn ethernet_ip_simulates() {
+        let spec = parse_parser(ETH_IP).unwrap();
+        // 112 bits of addresses + 0x0800 + 16 bits of IPv4 header.
+        let mut input = BitString::zeros(96);
+        input = input.concat(&BitString::from_u64(0x0800, 16));
+        input = input.concat(&BitString::from_u64(0x4500 >> 0, 16));
+        let r = simulate(&spec, &input, 10);
+        assert_eq!(r.status, ParseStatus::Accept);
+        let ihl = spec.field_by_name("ipv4_t.ihl").unwrap();
+        assert_eq!(r.dict.get(ihl).unwrap().to_u64(), 5);
+    }
+
+    #[test]
+    fn wildcard_and_masked_patterns() {
+        let spec = parse_parser(
+            r#"
+            header h { f : 4; }
+            parser {
+                state start {
+                    extract(h);
+                    transition select(h.f) {
+                        0b1**0 : accept;
+                        5 &&& 7 : reject;
+                        default : accept;
+                    }
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(spec.states[0].transitions[0].pattern.to_string(), "1**0");
+        // 5 &&& 7: value 0101, mask 0111 -> *101 after normalization.
+        assert_eq!(spec.states[0].transitions[1].pattern.to_string(), "*101");
+    }
+
+    #[test]
+    fn slices_and_lookahead_keys() {
+        let spec = parse_parser(
+            r#"
+            header h { f : 8; }
+            parser {
+                state start {
+                    extract(h);
+                    transition select(h.f[0:2], lookahead(0, 3)) {
+                        0b11*** : accept;
+                        default : reject;
+                    }
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(spec.states[0].key_width(), 5);
+        assert_eq!(analysis::max_lookahead(&spec), 3);
+        let used = analysis::key_bits_used(&spec);
+        assert_eq!(used[0].len(), 2);
+    }
+
+    #[test]
+    fn single_field_extract() {
+        let spec = parse_parser(
+            r#"
+            header h { a : 4; b : 4; }
+            parser {
+                state start {
+                    extract(h.b);
+                    transition accept;
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(spec.states[0].extracts, vec![FieldId(1)]);
+    }
+
+    #[test]
+    fn varbit_declaration() {
+        let spec = parse_parser(
+            r#"
+            header ipv4_t {
+                ihl : 4;
+                options : varbit(320, ihl, 32, -160);
+            }
+            parser {
+                state start { extract(ipv4_t); transition accept; }
+            }
+            "#,
+        )
+        .unwrap();
+        let opts = spec.field_by_name("ipv4_t.options").unwrap();
+        match &spec.field(opts).kind {
+            FieldKind::Var(v) => {
+                assert_eq!(v.control, spec.field_by_name("ipv4_t.ihl").unwrap());
+                assert_eq!(v.multiplier, 32);
+                assert_eq!(v.offset, -160);
+            }
+            _ => panic!("expected varbit"),
+        }
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        let e = parse_parser("header h { f : 4; }\nparser { state start { extract(nope); transition accept; } }")
+            .unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown header"));
+
+        let e = parse_parser(
+            "header h { f : 4; }\nparser { state start { extract(h); transition select(h.f) { 0x1F : accept; } } }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("does not fit"));
+
+        let e = parse_parser("parser { state st0 { transition accept; } }").unwrap_err();
+        assert!(e.message.contains("no `start` state"));
+
+        let e = parse_parser("header h { f : 4; }").unwrap_err();
+        assert!(e.message.contains("no parser block"));
+    }
+
+    #[test]
+    fn unknown_target_state_errors() {
+        let e = parse_parser(
+            "header h { f : 4; }\nparser { state start { extract(h); transition nowhere; } }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("unknown state `nowhere`"));
+    }
+
+    #[test]
+    fn duplicate_state_errors() {
+        let e = parse_parser(
+            r#"header h { f : 4; }
+            parser {
+                state start { extract(h); transition accept; }
+                state start { transition accept; }
+            }"#,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("duplicate state"));
+    }
+
+    #[test]
+    fn binary_pattern_width_mismatch_errors() {
+        let e = parse_parser(
+            r#"header h { f : 4; }
+            parser {
+                state start {
+                    extract(h);
+                    transition select(h.f) { 0b1*0 : accept; default : reject; }
+                }
+            }"#,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("3 bits"));
+    }
+
+    #[test]
+    fn missing_default_means_reject() {
+        let spec = parse_parser(
+            r#"header h { f : 2; }
+            parser {
+                state start {
+                    extract(h);
+                    transition select(h.f) { 0 : accept; }
+                }
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(spec.states[0].default, NextState::Reject);
+    }
+}

@@ -1,0 +1,39 @@
+//! # ph-sat
+//!
+//! A CDCL (conflict-driven clause learning) SAT solver, built as the solver
+//! substrate for ParserHawk's synthesis engine.
+//!
+//! The ParserHawk paper runs its CEGIS loop on Z3; every query it issues is a
+//! quantifier-free bit-vector formula over bounded variables, which reduces to
+//! propositional SAT by bit-blasting (done by the sibling `ph-smt` crate).
+//! This crate supplies the propositional engine:
+//!
+//! * two-watched-literal unit propagation,
+//! * first-UIP conflict analysis with recursive clause minimization,
+//! * VSIDS branching with phase saving,
+//! * Luby-sequence restarts,
+//! * LBD-based learned-clause database reduction,
+//! * incremental solving under assumptions (clauses may be added between
+//!   `solve` calls, which is what the CEGIS synthesis phase needs as
+//!   counterexamples accumulate),
+//! * DIMACS CNF input/output for standalone testing.
+//!
+//! ```
+//! use ph_sat::{Solver, Lit};
+//!
+//! let mut s = Solver::new();
+//! let a = s.new_var();
+//! let b = s.new_var();
+//! s.add_clause([Lit::pos(a), Lit::pos(b)]);
+//! s.add_clause([Lit::neg(a)]);
+//! assert_eq!(s.solve(), Some(true));
+//! assert_eq!(s.value(b), Some(true));
+//! ```
+
+mod dimacs;
+mod lit;
+mod solver;
+
+pub use dimacs::{parse_dimacs, write_dimacs};
+pub use lit::{Lit, Var};
+pub use solver::{SolveResult, Solver, SolverStats};

@@ -1,0 +1,1041 @@
+//! The CDCL search engine.
+//!
+//! Architecture follows MiniSat: a trail of assigned literals with decision
+//! levels and reasons, two-watched-literal propagation, first-UIP conflict
+//! analysis, VSIDS variable activities with phase saving, Luby restarts and
+//! activity/LBD-driven learned-clause deletion.
+//!
+//! The solver is incremental: clauses may be added between [`Solver::solve`]
+//! calls and solving may be done under a set of assumption literals, which is
+//! how the CEGIS synthesis phase accumulates counterexample constraints.
+
+use crate::lit::{Lit, Var};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Truth value of a variable: unassigned, true or false.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum LBool {
+    Undef,
+    True,
+    False,
+}
+
+impl LBool {
+    #[inline]
+    fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+}
+
+/// Reference to a clause in the solver's arena.
+type ClauseRef = u32;
+const REASON_NONE: ClauseRef = u32::MAX;
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    deleted: bool,
+    lbd: u32,
+    activity: f64,
+}
+
+#[derive(Clone, Copy)]
+struct Watch {
+    cref: ClauseRef,
+    /// A literal of the clause other than the watched one; if it is already
+    /// true the clause is satisfied and the watch list walk can skip it.
+    blocker: Lit,
+}
+
+/// Outcome of a `solve` call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveResult {
+    /// Satisfiable; a model is available through [`Solver::value`].
+    Sat,
+    /// Unsatisfiable (possibly only under the given assumptions).
+    Unsat,
+    /// The conflict budget was exhausted before a verdict.
+    Unknown,
+}
+
+/// Search statistics, useful for benchmark reporting.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct SolverStats {
+    /// Total conflicts encountered.
+    pub conflicts: u64,
+    /// Total decisions taken.
+    pub decisions: u64,
+    /// Total literals propagated.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learned clauses currently retained.
+    pub learnts: u64,
+}
+
+/// A CDCL SAT solver.
+///
+/// See the [crate docs](crate) for an example.
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watch>>,
+    assigns: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<ClauseRef>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    /// VSIDS activity per variable.
+    activity: Vec<f64>,
+    var_inc: f64,
+    /// Binary max-heap over variables ordered by activity.
+    heap: Vec<Var>,
+    heap_pos: Vec<usize>,
+    /// Saved phases for phase-saving.
+    phase: Vec<bool>,
+    /// Clause activity bump.
+    cla_inc: f64,
+    /// False once an unconditional empty clause was derived.
+    ok: bool,
+    /// Learned clauses since the last database reduction.
+    learnt_since_reduce: usize,
+    max_learnts: usize,
+    stats: SolverStats,
+    /// Scratch for conflict analysis.
+    seen: Vec<bool>,
+    /// Conflict budget for the next solve (None = unlimited).
+    budget: Option<u64>,
+    /// Cooperative interrupt flag: when set, `solve` returns `Unknown`.
+    interrupt: Option<Arc<AtomicBool>>,
+}
+
+const HEAP_NONE: usize = usize::MAX;
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            heap: Vec::new(),
+            heap_pos: Vec::new(),
+            phase: Vec::new(),
+            cla_inc: 1.0,
+            ok: true,
+            learnt_since_reduce: 0,
+            max_learnts: 4000,
+            stats: SolverStats::default(),
+            seen: Vec::new(),
+            budget: None,
+            interrupt: None,
+        }
+    }
+
+    /// Installs a cooperative interrupt flag, checked once per conflict:
+    /// when another thread sets it, the current and subsequent solves return
+    /// [`SolveResult::Unknown`] promptly.  Used for wall-clock deadlines and
+    /// for cancelling losing branches of parallel synthesis races.
+    pub fn set_interrupt(&mut self, flag: Option<Arc<AtomicBool>>) {
+        self.interrupt = flag;
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of original (problem) clauses added.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.learnt && !c.deleted).count()
+    }
+
+    /// Search statistics accumulated so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Limits the next `solve` call to roughly `conflicts` conflicts; the
+    /// call returns [`SolveResult::Unknown`] when exhausted.  The budget is
+    /// persistent until changed.
+    pub fn set_conflict_budget(&mut self, conflicts: Option<u64>) {
+        self.budget = conflicts;
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(REASON_NONE);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap_pos.push(HEAP_NONE);
+        self.heap_insert(v);
+        v
+    }
+
+    /// The model value of `v` after a satisfiable solve, or its fixed value.
+    pub fn value(&self, v: Var) -> Option<bool> {
+        match self.assigns[v.index()] {
+            LBool::Undef => None,
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+        }
+    }
+
+    /// The model value of a literal.
+    pub fn lit_value(&self, l: Lit) -> Option<bool> {
+        self.value(l.var()).map(|b| l.apply(b))
+    }
+
+    #[inline]
+    fn lit_lbool(&self, l: Lit) -> LBool {
+        match self.assigns[l.var().index()] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => LBool::from_bool(l.apply(true)),
+            LBool::False => LBool::from_bool(l.apply(false)),
+        }
+    }
+
+    /// Adds a clause; returns `false` when the formula became trivially
+    /// unsatisfiable.  Must be called at decision level 0 (the solver
+    /// backtracks automatically if needed).
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) -> bool {
+        if !self.ok {
+            return false;
+        }
+        self.cancel_until(0);
+        let mut ls: Vec<Lit> = lits.into_iter().collect();
+        ls.sort();
+        ls.dedup();
+        // Tautology / falsified-literal simplification (level 0 only).
+        let mut simplified = Vec::with_capacity(ls.len());
+        let mut prev: Option<Lit> = None;
+        for &l in &ls {
+            if let Some(p) = prev {
+                if p == !l {
+                    return true; // tautology: contains l and ¬l
+                }
+            }
+            match self.lit_lbool(l) {
+                LBool::True => return true, // already satisfied at level 0
+                LBool::False => {}          // drop falsified literal
+                LBool::Undef => simplified.push(l),
+            }
+            prev = Some(l);
+        }
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(simplified[0], REASON_NONE);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_clause(simplified, false, 0);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len() as ClauseRef;
+        let w0 = Watch { cref, blocker: lits[1] };
+        let w1 = Watch { cref, blocker: lits[0] };
+        self.watches[(!lits[0]).index()].push(w0);
+        self.watches[(!lits[1]).index()].push(w1);
+        self.clauses.push(Clause { lits, learnt, deleted: false, lbd, activity: 0.0 });
+        if learnt {
+            self.stats.learnts += 1;
+        }
+        cref
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: ClauseRef) {
+        debug_assert_eq!(self.lit_lbool(l), LBool::Undef);
+        let v = l.var().index();
+        self.assigns[v] = LBool::from_bool(!l.is_neg());
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the conflicting clause if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let widx = p.index();
+            let mut i = 0;
+            'watches: while i < self.watches[widx].len() {
+                let Watch { cref, blocker } = self.watches[widx][i];
+                if self.lit_lbool(blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                // The false literal being watched is ¬p == clause lit.
+                let false_lit = !p;
+                {
+                    let c = &mut self.clauses[cref as usize];
+                    if c.deleted {
+                        self.watches[widx].swap_remove(i);
+                        continue;
+                    }
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], false_lit);
+                }
+                let first = self.clauses[cref as usize].lits[0];
+                if first != blocker && self.lit_lbool(first) == LBool::True {
+                    self.watches[widx][i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.clauses[cref as usize].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cref as usize].lits[k];
+                    if self.lit_lbool(lk) != LBool::False {
+                        self.clauses[cref as usize].lits.swap(1, k);
+                        self.watches[widx].swap_remove(i);
+                        self.watches[(!lk).index()].push(Watch { cref, blocker: first });
+                        continue 'watches;
+                    }
+                }
+                // Clause is unit or conflicting.
+                self.watches[widx][i].blocker = first;
+                if self.lit_lbool(first) == LBool::False {
+                    self.qhead = self.trail.len();
+                    return Some(cref);
+                }
+                self.enqueue(first, cref);
+                i += 1;
+            }
+        }
+        None
+    }
+
+    /// First-UIP conflict analysis.  Returns the learnt clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::pos(Var(0))]; // placeholder slot 0
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut confl = confl;
+        let mut idx = self.trail.len();
+
+        loop {
+            self.bump_clause(confl);
+            let start = usize::from(p.is_some());
+            let clen = self.clauses[confl as usize].lits.len();
+            for k in start..clen {
+                let q = self.clauses[confl as usize].lits[k];
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next literal on the trail to resolve on.
+            loop {
+                idx -= 1;
+                if self.seen[self.trail[idx].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[idx];
+            self.seen[pl.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                p = Some(pl);
+                break;
+            }
+            confl = self.reason[pl.var().index()];
+            debug_assert_ne!(confl, REASON_NONE);
+            p = Some(pl);
+        }
+        learnt[0] = !p.unwrap();
+
+        // Clause minimization: drop literals implied by the rest.
+        let mut minimized = vec![learnt[0]];
+        for &l in &learnt[1..] {
+            if !self.literal_redundant(l) {
+                minimized.push(l);
+            }
+        }
+        for &l in &minimized {
+            self.seen[l.var().index()] = false;
+        }
+        // `seen` may still hold literals dropped by minimization; clear them.
+        for &l in &learnt[1..] {
+            self.seen[l.var().index()] = false;
+        }
+
+        // Backjump level = second-highest level in the clause.
+        let mut bt = 0;
+        if minimized.len() > 1 {
+            let mut max_i = 1;
+            for i in 2..minimized.len() {
+                if self.level[minimized[i].var().index()]
+                    > self.level[minimized[max_i].var().index()]
+                {
+                    max_i = i;
+                }
+            }
+            minimized.swap(1, max_i);
+            bt = self.level[minimized[1].var().index()];
+        }
+        (minimized, bt)
+    }
+
+    /// Basic (non-recursive) redundancy check: a literal is redundant when
+    /// its reason clause's literals are all already in the learnt clause
+    /// (i.e. marked seen) or at level 0.
+    fn literal_redundant(&self, l: Lit) -> bool {
+        let r = self.reason[l.var().index()];
+        if r == REASON_NONE {
+            return false;
+        }
+        for &q in &self.clauses[r as usize].lits[1..] {
+            let vi = q.var().index();
+            if !self.seen[vi] && self.level[vi] > 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn compute_lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits.iter().map(|l| self.level[l.var().index()]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    fn cancel_until(&mut self, lvl: u32) {
+        if self.decision_level() <= lvl {
+            return;
+        }
+        let bound = self.trail_lim[lvl as usize];
+        for i in (bound..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var();
+            self.assigns[v.index()] = LBool::Undef;
+            self.phase[v.index()] = !l.is_neg();
+            self.reason[v.index()] = REASON_NONE;
+            if self.heap_pos[v.index()] == HEAP_NONE {
+                self.heap_insert(v);
+            }
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(lvl as usize);
+        self.qhead = self.trail.len();
+    }
+
+    // ----- VSIDS heap -------------------------------------------------
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in self.activity.iter_mut() {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        if self.heap_pos[v.index()] != HEAP_NONE {
+            self.heap_up(self.heap_pos[v.index()]);
+        }
+    }
+
+    fn decay_var_activity(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref as usize];
+        if !c.learnt {
+            return;
+        }
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for cl in self.clauses.iter_mut().filter(|cl| cl.learnt) {
+                cl.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn heap_insert(&mut self, v: Var) {
+        self.heap_pos[v.index()] = self.heap.len();
+        self.heap.push(v);
+        self.heap_up(self.heap.len() - 1);
+    }
+
+    fn heap_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.activity[self.heap[i].index()] <= self.activity[self.heap[parent].index()] {
+                break;
+            }
+            self.heap_swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn heap_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len()
+                && self.activity[self.heap[l].index()] > self.activity[self.heap[best].index()]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && self.activity[self.heap[r].index()] > self.activity[self.heap[best].index()]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.heap_swap(i, best);
+            i = best;
+        }
+    }
+
+    fn heap_swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.heap_pos[self.heap[i].index()] = i;
+        self.heap_pos[self.heap[j].index()] = j;
+    }
+
+    fn heap_pop(&mut self) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.heap_pos[top.index()] = HEAP_NONE;
+        let last = self.heap.pop().unwrap();
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.heap_pos[last.index()] = 0;
+            self.heap_down(0);
+        }
+        Some(top)
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.heap_pop() {
+            if self.assigns[v.index()] == LBool::Undef {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    // ----- learned-clause DB reduction ---------------------------------
+
+    fn reduce_db(&mut self) {
+        let mut learnts: Vec<ClauseRef> = (0..self.clauses.len() as ClauseRef)
+            .filter(|&c| {
+                let cl = &self.clauses[c as usize];
+                cl.learnt && !cl.deleted && cl.lits.len() > 2
+            })
+            .collect();
+        // Delete the worst half: high LBD first, low activity as tie-break.
+        learnts.sort_by(|&a, &b| {
+            let ca = &self.clauses[a as usize];
+            let cb = &self.clauses[b as usize];
+            cb.lbd.cmp(&ca.lbd).then(
+                ca.activity
+                    .partial_cmp(&cb.activity)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+        });
+        let locked: Vec<ClauseRef> =
+            self.trail.iter().map(|l| self.reason[l.var().index()]).collect();
+        let to_delete = learnts.len() / 2;
+        let mut deleted = 0;
+        for &cref in &learnts {
+            if deleted >= to_delete {
+                break;
+            }
+            if self.clauses[cref as usize].lbd <= 3 {
+                continue; // keep glue clauses
+            }
+            if locked.contains(&cref) {
+                continue; // clause is a reason for a current assignment
+            }
+            self.clauses[cref as usize].deleted = true;
+            self.stats.learnts = self.stats.learnts.saturating_sub(1);
+            deleted += 1;
+        }
+        self.learnt_since_reduce = 0;
+    }
+
+    // ----- top-level search --------------------------------------------
+
+    /// Solves the current formula.  Returns `Some(true)` when satisfiable,
+    /// `Some(false)` when unsatisfiable, `None` when the conflict budget ran
+    /// out.
+    pub fn solve(&mut self) -> Option<bool> {
+        match self.solve_with_assumptions(&[]) {
+            SolveResult::Sat => Some(true),
+            SolveResult::Unsat => Some(false),
+            SolveResult::Unknown => None,
+        }
+    }
+
+    /// Solves under assumptions: the given literals are fixed for this call
+    /// only.  Returns [`SolveResult::Unsat`] when the formula is
+    /// unsatisfiable with (or without) the assumptions.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        self.cancel_until(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SolveResult::Unsat;
+        }
+
+        let mut conflicts_this_call: u64 = 0;
+        let mut restart_idx: u64 = 0;
+        let mut restart_budget = 100 * luby(restart_idx);
+
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_this_call += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SolveResult::Unsat;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                let bt = bt.min(self.decision_level() - 1);
+                self.cancel_until(bt);
+                if learnt.len() == 1 {
+                    if self.lit_lbool(learnt[0]) == LBool::False {
+                        self.ok = false;
+                        return SolveResult::Unsat;
+                    }
+                    if self.lit_lbool(learnt[0]) == LBool::Undef {
+                        self.enqueue(learnt[0], REASON_NONE);
+                    }
+                } else {
+                    let lbd = self.compute_lbd(&learnt);
+                    let first = learnt[0];
+                    let cref = self.attach_clause(learnt, true, lbd);
+                    self.enqueue(first, cref);
+                    self.learnt_since_reduce += 1;
+                }
+                self.decay_var_activity();
+                self.cla_inc /= 0.999;
+
+                if let Some(b) = self.budget {
+                    if conflicts_this_call >= b {
+                        self.cancel_until(0);
+                        return SolveResult::Unknown;
+                    }
+                }
+                if let Some(flag) = &self.interrupt {
+                    if flag.load(Ordering::Relaxed) {
+                        self.cancel_until(0);
+                        return SolveResult::Unknown;
+                    }
+                }
+                if conflicts_this_call >= restart_budget {
+                    restart_idx += 1;
+                    restart_budget = conflicts_this_call + 100 * luby(restart_idx);
+                    self.stats.restarts += 1;
+                    self.cancel_until(0);
+                }
+                if self.learnt_since_reduce > self.max_learnts {
+                    self.reduce_db();
+                }
+            } else {
+                // No conflict: establish assumptions (MiniSat scheme — while
+                // the decision level is inside the assumption prefix, every
+                // existing decision is an assumption, so a falsified
+                // assumption here is implied by earlier assumptions and the
+                // call is UNSAT).
+                let mut decided_assumption = false;
+                while (self.decision_level() as usize) < assumptions.len() {
+                    let a = assumptions[self.decision_level() as usize];
+                    match self.lit_lbool(a) {
+                        LBool::True => {
+                            // Already implied: open a dummy decision level so
+                            // assumption indices keep matching levels.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            return SolveResult::Unsat;
+                        }
+                        LBool::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(a, REASON_NONE);
+                            decided_assumption = true;
+                            break;
+                        }
+                    }
+                }
+                if decided_assumption {
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => return SolveResult::Sat,
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let phase = self.phase[v.index()];
+                        self.enqueue(Lit::new(v, !phase), REASON_NONE);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Returns all clauses (for DIMACS export); level-0 units are included.
+    pub(crate) fn export_clauses(&self) -> Vec<Vec<Lit>> {
+        let mut out: Vec<Vec<Lit>> = self
+            .clauses
+            .iter()
+            .filter(|c| !c.learnt && !c.deleted)
+            .map(|c| c.lits.clone())
+            .collect();
+        // Level-0 units.
+        let bound = self.trail_lim.first().copied().unwrap_or(self.trail.len());
+        for &l in &self.trail[..bound] {
+            if self.reason[l.var().index()] == REASON_NONE {
+                out.push(vec![l]);
+            }
+        }
+        out
+    }
+}
+
+/// The Luby restart sequence: 1,1,2,1,1,2,4,...
+fn luby(i: u64) -> u64 {
+    let mut k = 1u32;
+    while (1u64 << k) < i + 2 {
+        k += 1;
+    }
+    let mut i = i;
+    let mut kk = k;
+    loop {
+        if (1u64 << kk) - 1 == i + 1 {
+            return 1u64 << (kk - 1);
+        }
+        if i + 1 < (1u64 << kk) {
+            kk -= 1;
+            if kk == 0 {
+                return 1;
+            }
+            continue;
+        }
+        i -= (1u64 << kk) - 1;
+        kk = 1;
+        while (1u64 << kk) < i + 2 {
+            kk += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(s: &mut Solver, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| Lit::pos(s.new_var())).collect()
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        assert!(s.add_clause([Lit::pos(v)]));
+        assert_eq!(s.solve(), Some(true));
+        assert_eq!(s.value(v), Some(true));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        s.add_clause([Lit::pos(v)]);
+        assert!(!s.add_clause([Lit::neg(v)]));
+        assert_eq!(s.solve(), Some(false));
+    }
+
+    #[test]
+    fn implication_chain() {
+        let mut s = Solver::new();
+        let ls = lits(&mut s, 20);
+        for w in ls.windows(2) {
+            s.add_clause([!w[0], w[1]]);
+        }
+        s.add_clause([ls[0]]);
+        assert_eq!(s.solve(), Some(true));
+        for &l in &ls {
+            assert_eq!(s.lit_value(l), Some(true));
+        }
+    }
+
+    #[test]
+    fn xor_chain_unsat() {
+        // x0 ^ x1 = 1, x1 ^ x2 = 1, x0 ^ x2 = 1 is unsatisfiable.
+        let mut s = Solver::new();
+        let ls = lits(&mut s, 3);
+        let xor1 = |s: &mut Solver, a: Lit, b: Lit| {
+            s.add_clause([a, b]);
+            s.add_clause([!a, !b]);
+        };
+        xor1(&mut s, ls[0], ls[1]);
+        xor1(&mut s, ls[1], ls[2]);
+        xor1(&mut s, ls[0], ls[2]);
+        assert_eq!(s.solve(), Some(false));
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2() {
+        // 3 pigeons, 2 holes: unsatisfiable, requires real search.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> =
+            (0..3).map(|_| (0..2).map(|_| Lit::pos(s.new_var())).collect()).collect();
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for h in 0..2 {
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    s.add_clause([!p[i][h], !p[j][h]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), Some(false));
+    }
+
+    #[test]
+    fn pigeonhole_5_into_4() {
+        let n = 5;
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> =
+            (0..n).map(|_| (0..n - 1).map(|_| Lit::pos(s.new_var())).collect()).collect();
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for h in 0..n - 1 {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s.add_clause([!p[i][h], !p[j][h]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), Some(false));
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn assumptions_flip() {
+        let mut s = Solver::new();
+        let a = Lit::pos(s.new_var());
+        let b = Lit::pos(s.new_var());
+        s.add_clause([a, b]);
+        assert_eq!(s.solve_with_assumptions(&[!a]), SolveResult::Sat);
+        assert_eq!(s.lit_value(b), Some(true));
+        assert_eq!(s.solve_with_assumptions(&[!b]), SolveResult::Sat);
+        assert_eq!(s.lit_value(a), Some(true));
+        assert_eq!(s.solve_with_assumptions(&[!a, !b]), SolveResult::Unsat);
+        // Solver remains usable after an assumption failure.
+        assert_eq!(s.solve(), Some(true));
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = Solver::new();
+        let ls = lits(&mut s, 4);
+        s.add_clause(ls.iter().copied());
+        assert_eq!(s.solve(), Some(true));
+        // Exclude models one at a time: 4 vars with only the all-false model
+        // forbidden by the original clause -> 15 models.
+        let mut count = 0;
+        while s.solve() == Some(true) {
+            count += 1;
+            let blocking: Vec<Lit> = ls
+                .iter()
+                .map(|&l| if s.lit_value(l).unwrap() { !l } else { l })
+                .collect();
+            s.add_clause(blocking);
+            assert!(count <= 15, "too many models");
+        }
+        assert_eq!(count, 15);
+    }
+
+    #[test]
+    fn unit_under_assumption_does_not_stick() {
+        let mut s = Solver::new();
+        let a = Lit::pos(s.new_var());
+        let b = Lit::pos(s.new_var());
+        s.add_clause([!a, b]);
+        assert_eq!(s.solve_with_assumptions(&[a]), SolveResult::Sat);
+        assert_eq!(s.lit_value(b), Some(true));
+        // b must not be permanently fixed.
+        assert_eq!(s.solve_with_assumptions(&[!b]), SolveResult::Sat);
+        assert_eq!(s.lit_value(a), Some(false));
+    }
+
+    #[test]
+    fn budget_returns_unknown_or_verdict() {
+        let n = 8; // pigeonhole 8/7 is hard enough to exceed 10 conflicts
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> =
+            (0..n).map(|_| (0..n - 1).map(|_| Lit::pos(s.new_var())).collect()).collect();
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for h in 0..n - 1 {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s.add_clause([!p[i][h], !p[j][h]]);
+                }
+            }
+        }
+        s.set_conflict_budget(Some(10));
+        assert_eq!(s.solve(), None);
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(), Some(false));
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    /// Brute-force model check used by the random test below.
+    fn brute_force(num_vars: usize, clauses: &[Vec<(usize, bool)>]) -> bool {
+        'outer: for m in 0u64..(1 << num_vars) {
+            for c in clauses {
+                if !c.iter().any(|&(v, neg)| ((m >> v) & 1 == 1) != neg) {
+                    continue 'outer;
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    #[test]
+    fn random_3sat_agrees_with_brute_force() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x9a11 + 42);
+        for round in 0..200 {
+            let nv = rng.gen_range(3..=10usize);
+            let nc = rng.gen_range(1..=(nv * 5));
+            let clauses: Vec<Vec<(usize, bool)>> = (0..nc)
+                .map(|_| {
+                    (0..3).map(|_| (rng.gen_range(0..nv), rng.gen_bool(0.5))).collect()
+                })
+                .collect();
+            let expected = brute_force(nv, &clauses);
+            let mut s = Solver::new();
+            let vars: Vec<Var> = (0..nv).map(|_| s.new_var()).collect();
+            let mut ok = true;
+            for c in &clauses {
+                ok &= s.add_clause(c.iter().map(|&(v, neg)| Lit::new(vars[v], neg)));
+            }
+            let got = if ok { s.solve() == Some(true) } else { false };
+            assert_eq!(got, expected, "round {round} disagreed");
+            if got {
+                // Verify the model satisfies every clause.
+                for c in &clauses {
+                    assert!(c.iter().any(|&(v, neg)| {
+                        s.value(vars[v]).unwrap() != neg
+                    }));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_sat_with_assumptions_agrees() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let nv = rng.gen_range(3..=8usize);
+            let nc = rng.gen_range(1..=nv * 4);
+            let clauses: Vec<Vec<(usize, bool)>> = (0..nc)
+                .map(|_| (0..3).map(|_| (rng.gen_range(0..nv), rng.gen_bool(0.5))).collect())
+                .collect();
+            let n_assume = rng.gen_range(0..=nv.min(3));
+            let assumes: Vec<(usize, bool)> =
+                (0..n_assume).map(|i| (i, rng.gen_bool(0.5))).collect();
+            // Brute force with assumptions folded in as unit clauses.
+            let mut all = clauses.clone();
+            for &a in &assumes {
+                all.push(vec![a]);
+            }
+            let expected = brute_force(nv, &all);
+
+            let mut s = Solver::new();
+            let vars: Vec<Var> = (0..nv).map(|_| s.new_var()).collect();
+            let mut ok = true;
+            for c in &clauses {
+                ok &= s.add_clause(c.iter().map(|&(v, neg)| Lit::new(vars[v], neg)));
+            }
+            let assumption_lits: Vec<Lit> =
+                assumes.iter().map(|&(v, neg)| Lit::new(vars[v], neg)).collect();
+            let got = if !ok {
+                false
+            } else {
+                s.solve_with_assumptions(&assumption_lits) == SolveResult::Sat
+            };
+            assert_eq!(got, expected);
+        }
+    }
+}

@@ -1,0 +1,428 @@
+//! Hash-consed bit-vector term DAG with eager constant folding.
+//!
+//! Every distinct term is stored once in a [`TermPool`]; a [`Term`] is just
+//! an index.  Construction folds constants and applies cheap local rewrites
+//! (identity/annihilator elements, double negation, trivial equalities) so
+//! the bit-blaster never sees foldable structure — this is the SMT-level
+//! analogue of Z3's simplifier and matters a lot for CEGIS queries where the
+//! synthesis phase substitutes concrete test inputs into a shared template.
+
+use crate::{add_bits, cmp_bits};
+use ph_bits::BitString;
+use std::collections::HashMap;
+
+/// Handle to a term in a [`TermPool`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Term(pub(crate) u32);
+
+/// Term operators.  Bit order is wire order: index 0 is the first
+/// (most-significant) bit, matching [`BitString`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Op {
+    /// A constant bit string.
+    Const(BitString),
+    /// A free variable with a display name and width.
+    Var(String, u32),
+    /// Bitwise complement.
+    Not(Term),
+    /// Bitwise AND of equal-width terms.
+    And(Term, Term),
+    /// Bitwise OR of equal-width terms.
+    Or(Term, Term),
+    /// Bitwise XOR of equal-width terms.
+    Xor(Term, Term),
+    /// Concatenation; the first operand supplies the leading bits.
+    Concat(Term, Term),
+    /// Bits `[start, end)` of the operand, wire order.
+    Extract(Term, u32, u32),
+    /// Modular addition of equal-width terms.
+    Add(Term, Term),
+    /// Equality (boolean result).
+    Eq(Term, Term),
+    /// Unsigned less-than (boolean result).
+    Ult(Term, Term),
+    /// Unsigned less-or-equal (boolean result).
+    Ule(Term, Term),
+    /// If-then-else; condition is boolean, branches equal width.
+    Ite(Term, Term, Term),
+}
+
+pub(crate) struct TermPool {
+    ops: Vec<Op>,
+    widths: Vec<u32>,
+    cons: HashMap<Op, Term>,
+    var_counter: u32,
+}
+
+impl TermPool {
+    pub fn new() -> TermPool {
+        TermPool { ops: Vec::new(), widths: Vec::new(), cons: HashMap::new(), var_counter: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn width(&self, t: Term) -> u32 {
+        self.widths[t.0 as usize]
+    }
+
+    pub fn op(&self, t: Term) -> &Op {
+        &self.ops[t.0 as usize]
+    }
+
+    fn const_of(&self, t: Term) -> Option<&BitString> {
+        match &self.ops[t.0 as usize] {
+            Op::Const(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    pub fn var(&mut self, name: &str, width: u32) -> Term {
+        assert!(width > 0, "zero-width variable");
+        // Each `var` call creates a distinct variable even under the same
+        // name; uniquify so hash-consing cannot merge them.
+        self.var_counter += 1;
+        let unique = format!("{name}#{}", self.var_counter);
+        self.intern(Op::Var(unique, width), width)
+    }
+
+    pub fn const_bits(&mut self, bits: BitString) -> Term {
+        assert!(!bits.is_empty(), "zero-width constant");
+        let w = bits.len() as u32;
+        self.intern(Op::Const(bits), w)
+    }
+
+    fn intern(&mut self, op: Op, width: u32) -> Term {
+        if let Some(&t) = self.cons.get(&op) {
+            return t;
+        }
+        let t = Term(self.ops.len() as u32);
+        self.cons.insert(op.clone(), t);
+        self.ops.push(op);
+        self.widths.push(width);
+        t
+    }
+
+    fn tt(&mut self) -> Term {
+        self.const_bits(BitString::from_u64(1, 1))
+    }
+
+    fn ff(&mut self) -> Term {
+        self.const_bits(BitString::from_u64(0, 1))
+    }
+
+    /// Builds a term, folding constants and applying local rewrites.
+    pub fn mk(&mut self, op: Op) -> Term {
+        match op {
+            Op::Const(_) | Op::Var(..) => {
+                let w = match &op {
+                    Op::Const(b) => b.len() as u32,
+                    Op::Var(_, w) => *w,
+                    _ => unreachable!(),
+                };
+                self.intern(op, w)
+            }
+            Op::Not(a) => {
+                if let Some(b) = self.const_of(a) {
+                    let v = b.not();
+                    return self.const_bits(v);
+                }
+                if let Op::Not(inner) = *self.op(a) {
+                    return inner; // double negation
+                }
+                let w = self.width(a);
+                self.intern(Op::Not(a), w)
+            }
+            Op::And(a, b) => self.mk_bitwise(a, b, BitwiseKind::And),
+            Op::Or(a, b) => self.mk_bitwise(a, b, BitwiseKind::Or),
+            Op::Xor(a, b) => self.mk_bitwise(a, b, BitwiseKind::Xor),
+            Op::Concat(a, b) => {
+                if let (Some(x), Some(y)) = (self.const_of(a), self.const_of(b)) {
+                    let v = x.concat(y);
+                    return self.const_bits(v);
+                }
+                let w = self.width(a) + self.width(b);
+                self.intern(Op::Concat(a, b), w)
+            }
+            Op::Extract(a, s, e) => {
+                let w = self.width(a);
+                assert!(s < e && e <= w, "extract [{s},{e}) of width {w}");
+                if s == 0 && e == w {
+                    return a;
+                }
+                if let Some(x) = self.const_of(a) {
+                    let v = x.slice(s as usize, e as usize);
+                    return self.const_bits(v);
+                }
+                // Extract over concat: narrow into the matching operand.
+                if let Op::Concat(hi, lo) = *self.op(a) {
+                    let hw = self.width(hi);
+                    if e <= hw {
+                        return self.mk(Op::Extract(hi, s, e));
+                    }
+                    if s >= hw {
+                        return self.mk(Op::Extract(lo, s - hw, e - hw));
+                    }
+                }
+                // Extract over extract: compose offsets.
+                if let Op::Extract(inner, is, _ie) = *self.op(a) {
+                    return self.mk(Op::Extract(inner, is + s, is + e));
+                }
+                self.intern(Op::Extract(a, s, e), e - s)
+            }
+            Op::Add(a, b) => {
+                assert_eq!(self.width(a), self.width(b), "add width mismatch");
+                if let (Some(x), Some(y)) = (self.const_of(a), self.const_of(b)) {
+                    let v = add_bits(x, y);
+                    return self.const_bits(v);
+                }
+                // x + 0 = x
+                if self.const_of(b).is_some_and(|y| y.count_ones() == 0) {
+                    return a;
+                }
+                if self.const_of(a).is_some_and(|x| x.count_ones() == 0) {
+                    return b;
+                }
+                let w = self.width(a);
+                self.intern(Op::Add(a, b), w)
+            }
+            Op::Eq(a, b) => {
+                assert_eq!(self.width(a), self.width(b), "eq width mismatch");
+                if a == b {
+                    return self.tt();
+                }
+                if let (Some(x), Some(y)) = (self.const_of(a), self.const_of(b)) {
+                    return if x == y { self.tt() } else { self.ff() };
+                }
+                // Normalize operand order for hash-consing.
+                let (a, b) = if a <= b { (a, b) } else { (b, a) };
+                self.intern(Op::Eq(a, b), 1)
+            }
+            Op::Ult(a, b) => {
+                assert_eq!(self.width(a), self.width(b), "ult width mismatch");
+                if a == b {
+                    return self.ff();
+                }
+                if let (Some(x), Some(y)) = (self.const_of(a), self.const_of(b)) {
+                    return if cmp_bits(x, y).is_lt() { self.tt() } else { self.ff() };
+                }
+                self.intern(Op::Ult(a, b), 1)
+            }
+            Op::Ule(a, b) => {
+                assert_eq!(self.width(a), self.width(b), "ule width mismatch");
+                if a == b {
+                    return self.tt();
+                }
+                if let (Some(x), Some(y)) = (self.const_of(a), self.const_of(b)) {
+                    return if !cmp_bits(x, y).is_gt() { self.tt() } else { self.ff() };
+                }
+                self.intern(Op::Ule(a, b), 1)
+            }
+            Op::Ite(c, x, y) => {
+                assert_eq!(self.width(c), 1, "ite condition must be boolean");
+                assert_eq!(self.width(x), self.width(y), "ite branch width mismatch");
+                if let Some(cv) = self.const_of(c) {
+                    return if cv.to_u64() == 1 { x } else { y };
+                }
+                if x == y {
+                    return x;
+                }
+                // Boolean-valued ite with constant branches reduces to c / ¬c.
+                if self.width(x) == 1 {
+                    if let (Some(xv), Some(yv)) = (self.const_of(x), self.const_of(y)) {
+                        let (xv, yv) = (xv.to_u64(), yv.to_u64());
+                        if xv == 1 && yv == 0 {
+                            return c;
+                        }
+                        if xv == 0 && yv == 1 {
+                            return self.mk(Op::Not(c));
+                        }
+                    }
+                }
+                let w = self.width(x);
+                self.intern(Op::Ite(c, x, y), w)
+            }
+        }
+    }
+
+    fn mk_bitwise(&mut self, a: Term, b: Term, kind: BitwiseKind) -> Term {
+        assert_eq!(self.width(a), self.width(b), "bitwise width mismatch");
+        let w = self.width(a);
+        if let (Some(x), Some(y)) = (self.const_of(a), self.const_of(b)) {
+            let v = match kind {
+                BitwiseKind::And => x.and(y),
+                BitwiseKind::Or => x.or(y),
+                BitwiseKind::Xor => x.xor(y),
+            };
+            return self.const_bits(v);
+        }
+        if a == b {
+            return match kind {
+                BitwiseKind::And | BitwiseKind::Or => a,
+                BitwiseKind::Xor => self.const_bits(BitString::zeros(w as usize)),
+            };
+        }
+        // Identity / annihilator with a constant operand.
+        for (c, other) in [(a, b), (b, a)] {
+            if let Some(cv) = self.const_of(c) {
+                let all_ones = cv.count_ones() == cv.len();
+                let all_zeros = cv.count_ones() == 0;
+                match kind {
+                    BitwiseKind::And if all_ones => return other,
+                    BitwiseKind::And if all_zeros => {
+                        return self.const_bits(BitString::zeros(w as usize))
+                    }
+                    BitwiseKind::Or if all_zeros => return other,
+                    BitwiseKind::Or if all_ones => {
+                        return self.const_bits(BitString::ones(w as usize))
+                    }
+                    BitwiseKind::Xor if all_zeros => return other,
+                    BitwiseKind::Xor if all_ones => return self.mk(Op::Not(other)),
+                    _ => {}
+                }
+            }
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        let op = match kind {
+            BitwiseKind::And => Op::And(a, b),
+            BitwiseKind::Or => Op::Or(a, b),
+            BitwiseKind::Xor => Op::Xor(a, b),
+        };
+        self.intern(op, w)
+    }
+}
+
+#[derive(Clone, Copy)]
+enum BitwiseKind {
+    And,
+    Or,
+    Xor,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> TermPool {
+        TermPool::new()
+    }
+
+    #[test]
+    fn constant_folding_bitwise() {
+        let mut p = pool();
+        let a = p.const_bits(BitString::from_u64(0b1100, 4));
+        let b = p.const_bits(BitString::from_u64(0b1010, 4));
+        let and = p.mk(Op::And(a, b));
+        assert_eq!(p.const_of(and).unwrap().to_u64(), 0b1000);
+        let or = p.mk(Op::Or(a, b));
+        assert_eq!(p.const_of(or).unwrap().to_u64(), 0b1110);
+        let xor = p.mk(Op::Xor(a, b));
+        assert_eq!(p.const_of(xor).unwrap().to_u64(), 0b0110);
+    }
+
+    #[test]
+    fn hash_consing_dedupes() {
+        let mut p = pool();
+        let a = p.var("a", 4);
+        let b = p.var("b", 4);
+        let t1 = p.mk(Op::And(a, b));
+        let t2 = p.mk(Op::And(a, b));
+        let t3 = p.mk(Op::And(b, a)); // commutative normalization
+        assert_eq!(t1, t2);
+        assert_eq!(t1, t3);
+    }
+
+    #[test]
+    fn vars_are_distinct_even_with_same_name() {
+        let mut p = pool();
+        let a1 = p.var("x", 4);
+        let a2 = p.var("x", 4);
+        assert_ne!(a1, a2);
+    }
+
+    #[test]
+    fn identity_rewrites() {
+        let mut p = pool();
+        let a = p.var("a", 4);
+        let ones = p.const_bits(BitString::ones(4));
+        let zeros = p.const_bits(BitString::zeros(4));
+        assert_eq!(p.mk(Op::And(a, ones)), a);
+        assert_eq!(p.mk(Op::Or(a, zeros)), a);
+        assert_eq!(p.mk(Op::Xor(a, zeros)), a);
+        assert_eq!(p.mk(Op::Add(a, zeros)), a);
+        let not_a = p.mk(Op::Not(a));
+        assert_eq!(p.mk(Op::Xor(a, ones)), not_a);
+        assert_eq!(p.mk(Op::Not(not_a)), a);
+    }
+
+    #[test]
+    fn extract_rewrites() {
+        let mut p = pool();
+        let a = p.var("a", 8);
+        let b = p.var("b", 8);
+        let cat = p.mk(Op::Concat(a, b));
+        // Extract entirely inside a
+        let ea = p.mk(Op::Extract(cat, 2, 6));
+        assert_eq!(ea, p.mk(Op::Extract(a, 2, 6)));
+        // Extract entirely inside b
+        let eb = p.mk(Op::Extract(cat, 10, 14));
+        assert_eq!(eb, p.mk(Op::Extract(b, 2, 6)));
+        // Nested extract composes
+        let e1 = p.mk(Op::Extract(a, 2, 7));
+        let e2 = p.mk(Op::Extract(e1, 1, 3));
+        assert_eq!(e2, p.mk(Op::Extract(a, 3, 5)));
+        // Full-width extract is identity
+        assert_eq!(p.mk(Op::Extract(a, 0, 8)), a);
+    }
+
+    #[test]
+    fn eq_and_ite_rewrites() {
+        let mut p = pool();
+        let a = p.var("a", 4);
+        let b = p.var("b", 4);
+        let tt = p.tt();
+        let ff = p.ff();
+        assert_eq!(p.mk(Op::Eq(a, a)), tt);
+        let c = p.var("c", 1);
+        assert_eq!(p.mk(Op::Ite(c, a, a)), a);
+        assert_eq!(p.mk(Op::Ite(tt, a, b)), a);
+        assert_eq!(p.mk(Op::Ite(ff, a, b)), b);
+        assert_eq!(p.mk(Op::Ite(c, tt, ff)), c);
+        let not_c = p.mk(Op::Not(c));
+        assert_eq!(p.mk(Op::Ite(c, ff, tt)), not_c);
+    }
+
+    #[test]
+    fn comparison_folding() {
+        let mut p = pool();
+        let x = p.const_bits(BitString::from_u64(3, 4));
+        let y = p.const_bits(BitString::from_u64(7, 4));
+        let tt = p.tt();
+        let ff = p.ff();
+        assert_eq!(p.mk(Op::Ult(x, y)), tt);
+        assert_eq!(p.mk(Op::Ult(y, x)), ff);
+        assert_eq!(p.mk(Op::Ule(x, x)), tt);
+        let a = p.var("a", 4);
+        assert_eq!(p.mk(Op::Ult(a, a)), ff);
+        assert_eq!(p.mk(Op::Ule(a, a)), tt);
+    }
+
+    #[test]
+    fn add_folding() {
+        let mut p = pool();
+        let x = p.const_bits(BitString::from_u64(9, 4));
+        let y = p.const_bits(BitString::from_u64(9, 4));
+        let s = p.mk(Op::Add(x, y));
+        assert_eq!(p.const_of(s).unwrap().to_u64(), 2); // 18 mod 16
+    }
+
+    #[test]
+    #[should_panic]
+    fn width_mismatch_panics() {
+        let mut p = pool();
+        let a = p.var("a", 4);
+        let b = p.var("b", 5);
+        p.mk(Op::And(a, b));
+    }
+}

@@ -1,0 +1,163 @@
+//! Differential testing of the bit-vector solver: random term DAGs are
+//! evaluated by a reference interpreter on random variable assignments, and
+//! the solver must agree — both that the assignment satisfies
+//! `term == value` (SAT with that model pinned) and that asserting
+//! `term != value` under the pinned assignment is UNSAT.
+
+use ph_bits::BitString;
+use ph_smt::{Smt, Term};
+use proptest::prelude::*;
+
+/// A tiny expression AST mirroring the solver ops, with its own evaluator.
+#[derive(Clone, Debug)]
+enum Expr {
+    Var(usize),
+    Const(u64),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Add(Box<Expr>, Box<Expr>),
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+const WIDTH: usize = 8;
+const NVARS: usize = 4;
+
+impl Expr {
+    fn eval(&self, env: &[u64]) -> u64 {
+        let m = (1u64 << WIDTH) - 1;
+        match self {
+            Expr::Var(i) => env[*i] & m,
+            Expr::Const(c) => c & m,
+            Expr::Not(a) => !a.eval(env) & m,
+            Expr::And(a, b) => a.eval(env) & b.eval(env),
+            Expr::Or(a, b) => a.eval(env) | b.eval(env),
+            Expr::Xor(a, b) => a.eval(env) ^ b.eval(env),
+            Expr::Add(a, b) => (a.eval(env) + b.eval(env)) & m,
+            Expr::Ite(c, x, y) => {
+                // Condition: is c odd?
+                if c.eval(env) & 1 == 1 {
+                    x.eval(env)
+                } else {
+                    y.eval(env)
+                }
+            }
+        }
+    }
+
+    fn lower(&self, smt: &mut Smt, vars: &[Term]) -> Term {
+        match self {
+            Expr::Var(i) => vars[*i],
+            Expr::Const(c) => smt.const_u64(c & ((1 << WIDTH) - 1), WIDTH as u32),
+            Expr::Not(a) => {
+                let t = a.lower(smt, vars);
+                smt.not(t)
+            }
+            Expr::And(a, b) => {
+                let (x, y) = (a.lower(smt, vars), b.lower(smt, vars));
+                smt.and(x, y)
+            }
+            Expr::Or(a, b) => {
+                let (x, y) = (a.lower(smt, vars), b.lower(smt, vars));
+                smt.or(x, y)
+            }
+            Expr::Xor(a, b) => {
+                let (x, y) = (a.lower(smt, vars), b.lower(smt, vars));
+                smt.xor(x, y)
+            }
+            Expr::Add(a, b) => {
+                let (x, y) = (a.lower(smt, vars), b.lower(smt, vars));
+                smt.add(x, y)
+            }
+            Expr::Ite(c, x, y) => {
+                let cv = c.lower(smt, vars);
+                let lsb = smt.extract(cv, WIDTH as u32 - 1, WIDTH as u32);
+                let one = smt.const_u64(1, 1);
+                let cond = smt.eq(lsb, one);
+                let (xv, yv) = (x.lower(smt, vars), y.lower(smt, vars));
+                smt.ite(cond, xv, yv)
+            }
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..NVARS).prop_map(Expr::Var),
+        (0u64..256).prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|a| Expr::Not(Box::new(a))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, x, y)| Expr::Ite(Box::new(c), Box::new(x), Box::new(y))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pinning the environment makes `expr == interpreted-value` SAT and
+    /// `expr != interpreted-value` UNSAT.
+    #[test]
+    fn solver_agrees_with_interpreter(e in arb_expr(), env in proptest::collection::vec(0u64..256, NVARS)) {
+        let expected = e.eval(&env);
+
+        // SAT side: the pinned model satisfies equality.
+        let mut smt = Smt::new();
+        let vars: Vec<Term> = (0..NVARS).map(|i| smt.var(&format!("v{i}"), WIDTH as u32)).collect();
+        for (v, &val) in vars.iter().zip(&env) {
+            let c = smt.const_u64(val & ((1 << WIDTH) - 1), WIDTH as u32);
+            let eq = smt.eq(*v, c);
+            smt.assert(eq);
+        }
+        let t = e.lower(&mut smt, &vars);
+        let want = smt.const_u64(expected, WIDTH as u32);
+        let eq = smt.eq(t, want);
+        smt.assert(eq);
+        prop_assert!(smt.check().is_sat());
+        prop_assert_eq!(smt.model_value(t), BitString::from_u64(expected, WIDTH));
+
+        // UNSAT side: under the same pinned model, disequality contradicts.
+        let mut smt = Smt::new();
+        let vars: Vec<Term> = (0..NVARS).map(|i| smt.var(&format!("v{i}"), WIDTH as u32)).collect();
+        for (v, &val) in vars.iter().zip(&env) {
+            let c = smt.const_u64(val & ((1 << WIDTH) - 1), WIDTH as u32);
+            let eq = smt.eq(*v, c);
+            smt.assert(eq);
+        }
+        let t = e.lower(&mut smt, &vars);
+        let want = smt.const_u64(expected, WIDTH as u32);
+        let ne = smt.ne(t, want);
+        smt.assert(ne);
+        prop_assert!(smt.check().is_unsat());
+    }
+
+    /// Without pinning, `expr == eval(env)` must be satisfiable (the env is
+    /// a witness), and the returned model must actually evaluate correctly
+    /// through the interpreter.
+    #[test]
+    fn models_are_real_witnesses(e in arb_expr(), env in proptest::collection::vec(0u64..256, NVARS)) {
+        let expected = e.eval(&env);
+        let mut smt = Smt::new();
+        let vars: Vec<Term> = (0..NVARS).map(|i| smt.var(&format!("v{i}"), WIDTH as u32)).collect();
+        let t = e.lower(&mut smt, &vars);
+        let want = smt.const_u64(expected, WIDTH as u32);
+        let eq = smt.eq(t, want);
+        smt.assert(eq);
+        prop_assert!(smt.check().is_sat());
+        // Evaluate the model through the interpreter.
+        let model_env: Vec<u64> = vars.iter().map(|&v| smt.model_u64(v)).collect();
+        prop_assert_eq!(e.eval(&model_env), expected);
+    }
+}
