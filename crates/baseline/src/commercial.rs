@@ -77,8 +77,7 @@ pub fn compile_ipu(spec: &ParserSpec, device: &DeviceProfile) -> Result<TcamProg
         for i in 0..st.entries.len() {
             for j in (i + 1)..st.entries.len() {
                 let (a, b) = (&st.entries[i], &st.entries[j]);
-                if a.pattern.covers(&b.pattern) && (a.next != b.next || a.extracts != b.extracts)
-                {
+                if a.pattern.covers(&b.pattern) && (a.next != b.next || a.extracts != b.extracts) {
                     // The final catch-all shadowing nothing is fine; only a
                     // non-default shadow is a conflict.
                     if a.pattern.wildcard_bits() != a.pattern.width() {
@@ -128,7 +127,12 @@ fn split_fat_states(prog: &mut TcamProgram, limit: usize) {
                 .push(HwEntry::catch_all(kw, HwNext::State(cont_id)));
             let key: Vec<KeyPart> = prog.states[i].key.clone();
             let name = format!("{}~cont", prog.states[i].name);
-            prog.states.push(HwState { name, stage: 0, key, entries: rest });
+            prog.states.push(HwState {
+                name,
+                stage: 0,
+                key,
+                entries: rest,
+            });
             // The new state may itself still be too fat; it will be visited
             // later in the scan.
         }
@@ -201,7 +205,6 @@ mod tests {
     use ph_hw::run_program;
     use ph_ir::{simulate, ParseStatus};
     use ph_p4f::parse_parser;
-    use rand::{Rng, SeedableRng};
 
     const ETH: &str = r#"
         header eth_t { dst : 8; ty : 4; }
@@ -222,7 +225,7 @@ mod tests {
     "#;
 
     fn assert_equiv(spec: &ph_ir::ParserSpec, prog: &TcamProgram, rounds: usize) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = ph_bits::Rng::seed_from_u64(3);
         for _ in 0..rounds {
             let len = rng.gen_range(0..=20usize);
             let mut input = BitString::zeros(len);

@@ -22,9 +22,7 @@ use crate::merge::greedy_merge_entries;
 use crate::translate::direct_translate;
 use crate::CompileError;
 use ph_bits::Ternary;
-use ph_hw::{
-    check_program, Arch, DeviceProfile, HwEntry, HwNext, HwState, HwStateId, TcamProgram,
-};
+use ph_hw::{check_program, Arch, DeviceProfile, HwEntry, HwNext, HwState, HwStateId, TcamProgram};
 use ph_ir::{KeyPart, NextState, ParserSpec};
 
 /// Compiles `spec` for a single-TCAM-table device with DPParserGen.
@@ -139,11 +137,15 @@ fn convert_child_key(
         let conv = match *kp {
             KeyPart::Slice { field, start, end } => {
                 let base = *offset.get(&field)?;
-                KeyPart::Lookahead { start: base + start, end: base + end }
+                KeyPart::Lookahead {
+                    start: base + start,
+                    end: base + end,
+                }
             }
-            KeyPart::Lookahead { start, end } => {
-                KeyPart::Lookahead { start: cursor + start, end: cursor + end }
-            }
+            KeyPart::Lookahead { start, end } => KeyPart::Lookahead {
+                start: cursor + start,
+                end: cursor + end,
+            },
         };
         if let KeyPart::Lookahead { end, .. } = conv {
             if end > device.lookahead_limit {
@@ -202,15 +204,16 @@ fn cluster_hw_states(prog: &mut TcamProgram, spec: &ParserSpec, device: &DeviceP
                     .filter(|e| e.next == HwNext::State(HwStateId(c)))
                     .count();
                 let c_entries = prog.states[c].entries.len();
-                let merged_cost =
-                    p.entries.len() - edges_into_child + edges_into_child * c_entries;
+                let merged_cost = p.entries.len() - edges_into_child + edges_into_child * c_entries;
                 if merged_cost <= p.entries.len() + c_entries {
                     plan = Some((pi, c, conv));
                     break 'outer;
                 }
             }
         }
-        let Some((pi, ci, conv_key)) = plan else { return };
+        let Some((pi, ci, conv_key)) = plan else {
+            return;
+        };
         merge_hw_pair(prog, pi, ci, conv_key);
     }
 }
@@ -233,10 +236,10 @@ fn merge_hw_pair(prog: &mut TcamProgram, pi: usize, ci: usize, conv_key: Vec<Key
                 });
             }
             // No match in the child means hardware reject; preserve it.
-            if !child
+            if child
                 .entries
                 .last()
-                .is_some_and(|l| l.pattern.wildcard_bits() == l.pattern.width())
+                .is_none_or(|l| l.pattern.wildcard_bits() != l.pattern.width())
             {
                 entries.push(HwEntry {
                     pattern: e.pattern.concat(&Ternary::any(ckw)),
@@ -255,7 +258,12 @@ fn merge_hw_pair(prog: &mut TcamProgram, pi: usize, ci: usize, conv_key: Vec<Key
 
     let name = format!("{}+{}", prog.states[pi].name, child.name);
     let key = [prog.states[pi].key.clone(), conv_key].concat();
-    prog.states[pi] = HwState { name, stage: 0, key, entries };
+    prog.states[pi] = HwState {
+        name,
+        stage: 0,
+        key,
+        entries,
+    };
     prune_unreachable_hw(prog);
 }
 
@@ -320,12 +328,17 @@ fn slice_key(parts: &[KeyPart], start: usize, end: usize) -> Vec<KeyPart> {
         if lo < hi {
             let (rel_lo, rel_hi) = (lo - off, hi - off);
             out.push(match *kp {
-                KeyPart::Slice { field, start: s, .. } => {
-                    KeyPart::Slice { field, start: s + rel_lo, end: s + rel_hi }
-                }
-                KeyPart::Lookahead { start: s, .. } => {
-                    KeyPart::Lookahead { start: s + rel_lo, end: s + rel_hi }
-                }
+                KeyPart::Slice {
+                    field, start: s, ..
+                } => KeyPart::Slice {
+                    field,
+                    start: s + rel_lo,
+                    end: s + rel_hi,
+                },
+                KeyPart::Lookahead { start: s, .. } => KeyPart::Lookahead {
+                    start: s + rel_lo,
+                    end: s + rel_hi,
+                },
             });
         }
         off += w;
@@ -357,7 +370,10 @@ fn disambiguate_chunk(alive: Vec<HwEntry>, cs: usize, ce: usize) -> Vec<HwEntry>
     if !overlapping(&alive) {
         return alive;
     }
-    let total: u128 = alive.iter().map(|e| e.pattern.slice(cs, ce).match_count()).sum();
+    let total: u128 = alive
+        .iter()
+        .map(|e| e.pattern.slice(cs, ce).match_count())
+        .sum();
     if total > MAX_CHUNK_EXPANSION as u128 {
         return alive;
     }
@@ -387,8 +403,10 @@ fn disambiguate_chunk(alive: Vec<HwEntry>, cs: usize, ce: usize) -> Vec<HwEntry>
 fn split_one_state(prog: &mut TcamProgram, idx: usize, limit: usize) {
     let st = prog.states[idx].clone();
     let kw = st.key_width();
-    let chunks: Vec<(usize, usize)> =
-        (0..kw).step_by(limit).map(|s| (s, (s + limit).min(kw))).collect();
+    let chunks: Vec<(usize, usize)> = (0..kw)
+        .step_by(limit)
+        .map(|s| (s, (s + limit).min(kw)))
+        .collect();
 
     // Separate the trailing catch-all (the default) from exact rules.
     let mut rules: Vec<HwEntry> = st.entries.clone();
@@ -399,6 +417,7 @@ fn split_one_state(prog: &mut TcamProgram, idx: usize, limit: usize) {
 
     // Recursive trie construction.  Returns the id of the state testing
     // chunk `depth` for the given alive rule set.
+    #[allow(clippy::too_many_arguments)]
     fn build(
         prog: &mut TcamProgram,
         base_name: &str,
@@ -442,8 +461,16 @@ fn split_one_state(prog: &mut TcamProgram, idx: usize, limit: usize) {
                 }
             }
             for (cpat, members) in groups {
-                let child =
-                    build(prog, base_name, key_parts, chunks, depth + 1, members, default, None);
+                let child = build(
+                    prog,
+                    base_name,
+                    key_parts,
+                    chunks,
+                    depth + 1,
+                    members,
+                    default,
+                    None,
+                );
                 entries.push(HwEntry {
                     pattern: cpat,
                     extracts: Vec::new(),
@@ -500,7 +527,9 @@ fn split_one_state(prog: &mut TcamProgram, idx: usize, limit: usize) {
                 None => groups.push((cpat, vec![e.clone()])),
             }
         }
-        groups.iter().all(|(_, members)| feasible(members, chunks, depth + 1))
+        groups
+            .iter()
+            .all(|(_, members)| feasible(members, chunks, depth + 1))
     }
     if !feasible(&rules, &chunks, 0) {
         return;
@@ -518,10 +547,9 @@ mod tests {
     use ph_hw::run_program;
     use ph_ir::{simulate, ParseStatus};
     use ph_p4f::parse_parser;
-    use rand::{Rng, SeedableRng};
 
     fn assert_equiv(spec: &ph_ir::ParserSpec, prog: &TcamProgram, rounds: usize) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = ph_bits::Rng::seed_from_u64(5);
         for _ in 0..rounds {
             let len = rng.gen_range(0..=24usize);
             let mut input = BitString::zeros(len);
@@ -654,14 +682,22 @@ mod tests {
     #[test]
     fn slice_key_splits_parts() {
         let parts = vec![
-            KeyPart::Slice { field: ph_ir::FieldId(0), start: 0, end: 6 },
+            KeyPart::Slice {
+                field: ph_ir::FieldId(0),
+                start: 0,
+                end: 6,
+            },
             KeyPart::Lookahead { start: 2, end: 6 },
         ];
         let s = slice_key(&parts, 4, 8);
         assert_eq!(
             s,
             vec![
-                KeyPart::Slice { field: ph_ir::FieldId(0), start: 4, end: 6 },
+                KeyPart::Slice {
+                    field: ph_ir::FieldId(0),
+                    start: 4,
+                    end: 6
+                },
                 KeyPart::Lookahead { start: 2, end: 4 },
             ]
         );

@@ -48,7 +48,11 @@ impl fmt::Display for CompileError {
         match self {
             CompileError::Unsupported(m) => write!(f, "{m}"),
             CompileError::Resources(vs) => {
-                write!(f, "{}", vs.first().map(|v| v.to_string()).unwrap_or_default())
+                write!(
+                    f,
+                    "{}",
+                    vs.first().map(|v| v.to_string()).unwrap_or_default()
+                )
             }
         }
     }

@@ -83,7 +83,11 @@ mod tests {
     use ph_hw::HwNext;
 
     fn e(pat: &str, next: HwNext) -> HwEntry {
-        HwEntry { pattern: Ternary::parse(pat).unwrap(), extracts: vec![], next }
+        HwEntry {
+            pattern: Ternary::parse(pat).unwrap(),
+            extracts: vec![],
+            next,
+        }
     }
 
     #[test]
@@ -172,8 +176,16 @@ mod tests {
     fn wide_patterns_skipped() {
         let wide = "*".repeat(40);
         let mut entries = vec![
-            HwEntry { pattern: Ternary::parse(&wide).unwrap(), extracts: vec![], next: HwNext::Accept },
-            HwEntry { pattern: Ternary::parse(&wide).unwrap(), extracts: vec![], next: HwNext::Accept },
+            HwEntry {
+                pattern: Ternary::parse(&wide).unwrap(),
+                extracts: vec![],
+                next: HwNext::Accept,
+            },
+            HwEntry {
+                pattern: Ternary::parse(&wide).unwrap(),
+                extracts: vec![],
+                next: HwNext::Accept,
+            },
         ];
         // Candidate merge has 40 wildcards > limit; skipped.
         assert_eq!(greedy_merge_entries(&mut entries), 0);

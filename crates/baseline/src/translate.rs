@@ -22,9 +22,10 @@ fn edge(spec: &ParserSpec, next: NextState) -> (HwNext, Vec<ph_ir::FieldId>) {
     match next {
         NextState::Accept => (HwNext::Accept, Vec::new()),
         NextState::Reject => (HwNext::Reject, Vec::new()),
-        NextState::State(t) => {
-            (HwNext::State(HwStateId(t.0 + 1)), spec.state(t).extracts.clone())
-        }
+        NextState::State(t) => (
+            HwNext::State(HwStateId(t.0 + 1)),
+            spec.state(t).extracts.clone(),
+        ),
     }
 }
 
@@ -40,7 +41,11 @@ pub fn direct_translate(spec: &ParserSpec, device: &DeviceProfile) -> TcamProgra
         name: "entry".into(),
         stage: 0,
         key: Vec::new(),
-        entries: vec![HwEntry { pattern: ph_bits::Ternary::any(0), extracts: ex0, next: next0 }],
+        entries: vec![HwEntry {
+            pattern: ph_bits::Ternary::any(0),
+            extracts: ex0,
+            next: next0,
+        }],
     });
 
     for st in &spec.states {
@@ -48,10 +53,18 @@ pub fn direct_translate(spec: &ParserSpec, device: &DeviceProfile) -> TcamProgra
         let mut entries = Vec::with_capacity(st.transitions.len() + 1);
         for tr in &st.transitions {
             let (next, extracts) = edge(spec, tr.next);
-            entries.push(HwEntry { pattern: tr.pattern.clone(), extracts, next });
+            entries.push(HwEntry {
+                pattern: tr.pattern.clone(),
+                extracts,
+                next,
+            });
         }
         let (dnext, dex) = edge(spec, st.default);
-        entries.push(HwEntry { pattern: ph_bits::Ternary::any(kw), extracts: dex, next: dnext });
+        entries.push(HwEntry {
+            pattern: ph_bits::Ternary::any(kw),
+            extracts: dex,
+            next: dnext,
+        });
         states.push(HwState {
             name: st.name.clone(),
             stage: 0,
@@ -60,7 +73,11 @@ pub fn direct_translate(spec: &ParserSpec, device: &DeviceProfile) -> TcamProgra
         });
     }
 
-    TcamProgram { device: device.clone(), states, start: HwStateId(0) }
+    TcamProgram {
+        device: device.clone(),
+        states,
+        start: HwStateId(0),
+    }
 }
 
 #[cfg(test)]
@@ -70,7 +87,6 @@ mod tests {
     use ph_hw::run_program;
     use ph_ir::simulate;
     use ph_p4f::parse_parser;
-    use rand::{Rng, SeedableRng};
 
     const SRC: &str = r#"
         header eth_t { ty : 4; }
@@ -94,7 +110,7 @@ mod tests {
     fn translation_matches_spec_on_random_inputs() {
         let spec = parse_parser(SRC).unwrap();
         let prog = direct_translate(&spec, &DeviceProfile::tofino());
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut rng = ph_bits::Rng::seed_from_u64(11);
         for _ in 0..500 {
             let len = rng.gen_range(0..=12usize);
             let mut input = BitString::zeros(len);

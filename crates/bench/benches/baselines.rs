@@ -1,15 +1,16 @@
-//! Criterion benchmarks for the baseline compilers and the simulators
+//! Benchmarks for the baseline compilers and the simulators
 //! (the "all baselines finish within a minute" observation of §7.2 —
 //! here they finish within microseconds, being pure heuristics).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use ph_baseline::{compile_dp, compile_tofino, compile_ipu};
+use ph_baseline::{compile_dp, compile_ipu, compile_tofino};
+use ph_bench::harness::Criterion;
 use ph_benchmarks::packets::PacketBuilder;
 use ph_benchmarks::suite;
 use ph_hw::{run_program, DeviceProfile};
 use ph_ir::simulate;
 
-fn benches(c: &mut Criterion) {
+fn main() {
+    let mut c = Criterion::default().sample_size(20);
     let sai = suite::sai_v2();
     let me3 = suite::me3_redundant_entries();
     let icmp = suite::parse_icmp();
@@ -38,10 +39,3 @@ fn benches(c: &mut Criterion) {
         b.iter(|| run_program(&prog, &icmp.spec.fields, &pkt, 32))
     });
 }
-
-criterion_group! {
-    name = baselines;
-    config = Criterion::default().sample_size(20);
-    targets = benches
-}
-criterion_main!(baselines);

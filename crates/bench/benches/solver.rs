@@ -1,14 +1,16 @@
-//! Criterion microbenchmarks for the solver substrate (SAT + bit-vector).
+//! Microbenchmarks for the solver substrate (SAT + bit-vector).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ph_bench::harness::Criterion;
 use ph_sat::{Lit, Solver};
 use ph_smt::Smt;
 
 /// Pigeonhole principle: n pigeons into n-1 holes (UNSAT, forces search).
+#[allow(clippy::needless_range_loop)] // indexed by (pigeon, hole)
 fn pigeonhole(n: usize) -> bool {
     let mut s = Solver::new();
-    let p: Vec<Vec<Lit>> =
-        (0..n).map(|_| (0..n - 1).map(|_| Lit::pos(s.new_var())).collect()).collect();
+    let p: Vec<Vec<Lit>> = (0..n)
+        .map(|_| (0..n - 1).map(|_| Lit::pos(s.new_var())).collect())
+        .collect();
     for row in &p {
         s.add_clause(row.iter().copied());
     }
@@ -64,7 +66,28 @@ fn tcam_priority_query() -> bool {
     s.check().is_sat()
 }
 
-fn benches(c: &mut Criterion) {
+/// Scoped solving: repeatedly push a contradiction, check, pop — the
+/// workload shape of the incremental verifier's selector scopes.
+fn scoped_contradictions() -> bool {
+    let mut s = Smt::new();
+    let x = s.var("x", 16);
+    let c = s.const_u64(0xbeef, 16);
+    let is_c = s.eq(x, c);
+    s.assert(is_c);
+    let ne = s.ne(x, c);
+    for _ in 0..8 {
+        s.push();
+        s.assert(ne);
+        if !s.check().is_unsat() {
+            return false;
+        }
+        s.pop();
+    }
+    s.check().is_sat()
+}
+
+fn main() {
+    let mut c = Criterion::default().sample_size(10);
     c.bench_function("sat/pigeonhole_7", |b| b.iter(|| assert!(pigeonhole(7))));
     c.bench_function("smt/adder_associativity_16b", |b| {
         b.iter(|| assert!(adder_associativity()))
@@ -72,11 +95,7 @@ fn benches(c: &mut Criterion) {
     c.bench_function("smt/tcam_priority_query", |b| {
         b.iter(|| assert!(tcam_priority_query()))
     });
+    c.bench_function("smt/scoped_contradictions", |b| {
+        b.iter(|| assert!(scoped_contradictions()))
+    });
 }
-
-criterion_group! {
-    name = solver;
-    config = Criterion::default().sample_size(10);
-    targets = benches
-}
-criterion_main!(solver);

@@ -1,10 +1,19 @@
-//! Criterion benchmarks for end-to-end synthesis on representative
-//! benchmarks (compile-time distributions backing Table 3's OPT columns).
+//! Benchmarks for end-to-end synthesis on representative benchmarks
+//! (compile-time distributions backing Table 3's OPT columns), plus a
+//! direct comparison of the incremental verification engine against the
+//! old fresh-solver-per-query path on the Fig. 7 spec.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ph_bench::harness::Criterion;
 use ph_benchmarks::suite;
+use ph_bits::BitString;
+use ph_core::bounds::compute_bounds;
+use ph_core::cegis::{shape_k, verify_candidate_fresh, IncrementalVerifier, Verdict};
+use ph_core::reduce::reduce_spec;
+use ph_core::skeleton::{build_shape, ConcreteEntry, ConcreteSkel};
 use ph_core::{OptConfig, SynthParams, Synthesizer};
 use ph_hw::DeviceProfile;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn synthesize(spec: &ph_ir::ParserSpec, device: DeviceProfile) -> usize {
@@ -19,7 +28,9 @@ fn synthesize(spec: &ph_ir::ParserSpec, device: DeviceProfile) -> usize {
         .entry_count()
 }
 
-fn benches(c: &mut Criterion) {
+fn main() {
+    let mut c = Criterion::default().sample_size(10);
+
     let eth = suite::parse_ethernet();
     let dash = suite::dash_v1();
     let me1 = suite::me1_entry_merging();
@@ -36,11 +47,76 @@ fn benches(c: &mut Criterion) {
     c.bench_function("synthesis/me1_param_device", |b| {
         b.iter(|| synthesize(&me1.spec, DeviceProfile::parameterized(4, 2, 16)))
     });
-}
 
-criterion_group! {
-    name = synthesis;
-    config = Criterion::default().sample_size(10);
-    targets = benches
+    // Fresh-per-query vs persistent incremental verification on the Fig. 7
+    // spec: the same correct candidate checked repeatedly, which is the
+    // workload shape of a CEGIS run with `shrink_masks`.
+    let spec = ph_p4f::parse_parser(
+        r#"
+        header h_t { f0 : 4; f1 : 4; }
+        parser {
+            state start {
+                extract(h_t.f0);
+                transition select(h_t.f0[0:1]) {
+                    0b0 : s1;
+                    default : accept;
+                }
+            }
+            state s1 { extract(h_t.f1); transition accept; }
+        }
+        "#,
+    )
+    .unwrap();
+    let opts = OptConfig::all();
+    let red = reduce_spec(&spec, opts).unwrap();
+    let dev = DeviceProfile::tofino();
+    let bounds = compute_bounds(&red.spec, 8).unwrap();
+    let shape = build_shape(&red, &dev, opts, false, None).unwrap();
+    let l = bounds.input_bits.max(1);
+    let k_impl = shape_k(&shape, &bounds);
+    let k_spec = bounds.spec_iters + 1;
+    let acc = shape.accept_code();
+    let cand = ConcreteSkel {
+        alloc: vec![vec![false], vec![true], vec![false]],
+        entries: vec![
+            vec![ConcreteEntry {
+                value: BitString::zeros(1),
+                mask: BitString::zeros(1),
+                next: 1,
+            }],
+            vec![
+                ConcreteEntry {
+                    value: BitString::from_u64(0, 1),
+                    mask: BitString::from_u64(1, 1),
+                    next: 2,
+                },
+                ConcreteEntry {
+                    value: BitString::zeros(1),
+                    mask: BitString::zeros(1),
+                    next: acc,
+                },
+            ],
+            vec![ConcreteEntry {
+                value: BitString::zeros(1),
+                mask: BitString::zeros(1),
+                next: acc,
+            }],
+        ],
+        ext: vec![0, 1, 2],
+        stage: vec![0, 0, 0],
+    };
+    let flag = Arc::new(AtomicBool::new(false));
+
+    c.bench_function("verify/fig7_fresh_solver_per_query", |b| {
+        b.iter(|| {
+            let v =
+                verify_candidate_fresh(&shape, &red.spec, &cand, l, k_impl, k_spec, &flag).unwrap();
+            assert_eq!(v, Verdict::Verified);
+        })
+    });
+    let mut verifier =
+        IncrementalVerifier::new(&shape, &red.spec, l, k_impl, k_spec, &flag).unwrap();
+    c.bench_function("verify/fig7_incremental", |b| {
+        b.iter(|| assert_eq!(verifier.verify(&cand), Verdict::Verified))
+    });
 }
-criterion_main!(synthesis);

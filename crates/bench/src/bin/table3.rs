@@ -11,9 +11,7 @@
 //! column prints `>N` on timeout like the paper's `>86400` cells.
 //! `PH_TABLE3_FILTER=MPLS` restricts rows by substring.
 
-use ph_bench::{
-    baseline_ipu, baseline_tofino, env_secs, geomean, run_parserhawk, short_failure,
-};
+use ph_bench::{baseline_ipu, baseline_tofino, env_secs, geomean, run_parserhawk, short_failure};
 use ph_core::OptConfig;
 use ph_hw::DeviceProfile;
 
@@ -75,18 +73,21 @@ fn main() {
                 continue;
             }
             let o = if orig.timed_out {
-                (orig_budget.as_secs_f64() / opt.time.as_secs_f64().max(1e-3), true)
+                (
+                    orig_budget.as_secs_f64() / opt.time.as_secs_f64().max(1e-3),
+                    true,
+                )
             } else if orig.ok() {
-                (orig.time.as_secs_f64() / opt.time.as_secs_f64().max(1e-3), false)
+                (
+                    orig.time.as_secs_f64() / opt.time.as_secs_f64().max(1e-3),
+                    false,
+                )
             } else {
                 continue;
             };
             speedups.push(o);
         }
-        for (ph, bl, metric) in [
-            (&ph_t, &bl_t, "entries"),
-            (&ph_i, &bl_i, "stages"),
-        ] {
+        for (ph, bl, metric) in [(&ph_t, &bl_t, "entries"), (&ph_i, &bl_i, "stages")] {
             if !bl.ok() {
                 baseline_rejects += 1;
             } else if ph.ok() {
@@ -105,9 +106,15 @@ fn main() {
                 return "-".into();
             }
             if orig.timed_out {
-                format!(">{:.1}x", orig_budget.as_secs_f64() / opt.time.as_secs_f64().max(1e-3))
+                format!(
+                    ">{:.1}x",
+                    orig_budget.as_secs_f64() / opt.time.as_secs_f64().max(1e-3)
+                )
             } else if orig.ok() {
-                format!("{:.1}x", orig.time.as_secs_f64() / opt.time.as_secs_f64().max(1e-3))
+                format!(
+                    "{:.1}x",
+                    orig.time.as_secs_f64() / opt.time.as_secs_f64().max(1e-3)
+                )
             } else {
                 "-".into()
             }

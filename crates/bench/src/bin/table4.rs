@@ -19,11 +19,31 @@ fn main() {
     // extracts whole fields atomically and the ME benchmarks carry a 16-bit
     // key field; see EXPERIMENTS.md.
     let rows: Vec<(&str, &str, DeviceProfile)> = vec![
-        ("Large tran key (Tofino)", "Large tran key", DeviceProfile::tofino()),
-        ("ME-1  (4-bit key, 2-bit look)", "ME-1", DeviceProfile::parameterized(4, 2, 16)),
-        ("ME-2  (16-bit key, 2-bit look)", "ME-2", DeviceProfile::parameterized(16, 2, 16)),
-        ("ME-2  (8-bit key, 2-bit look)", "ME-2", DeviceProfile::parameterized(8, 2, 16)),
-        ("ME-3  (16-bit key, 2-bit look)", "ME-3", DeviceProfile::parameterized(16, 2, 16)),
+        (
+            "Large tran key (Tofino)",
+            "Large tran key",
+            DeviceProfile::tofino(),
+        ),
+        (
+            "ME-1  (4-bit key, 2-bit look)",
+            "ME-1",
+            DeviceProfile::parameterized(4, 2, 16),
+        ),
+        (
+            "ME-2  (16-bit key, 2-bit look)",
+            "ME-2",
+            DeviceProfile::parameterized(16, 2, 16),
+        ),
+        (
+            "ME-2  (8-bit key, 2-bit look)",
+            "ME-2",
+            DeviceProfile::parameterized(8, 2, 16),
+        ),
+        (
+            "ME-3  (16-bit key, 2-bit look)",
+            "ME-3",
+            DeviceProfile::parameterized(16, 2, 16),
+        ),
     ];
 
     println!("Table 4: ParserHawk vs DPParserGen over motivating examples (reproduction)\n");
@@ -42,8 +62,14 @@ fn main() {
             label,
             ph.entries
                 .map(|e| e.to_string())
-                .unwrap_or_else(|| if ph.timed_out { ">timeout".into() } else { short_failure(&ph) }),
-            dp.entries.map(|e| e.to_string()).unwrap_or_else(|| short_failure(&dp)),
+                .unwrap_or_else(|| if ph.timed_out {
+                    ">timeout".into()
+                } else {
+                    short_failure(&ph)
+                }),
+            dp.entries
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| short_failure(&dp)),
         );
     }
     println!(

@@ -21,10 +21,7 @@ fn main() {
     ];
 
     println!("Table 5: speed-up effect from Opt4/Opt5 (reproduction)\n");
-    println!(
-        "{:<18} | {:^34} | {:^34}",
-        "Program Name", "Tofino", "IPU"
-    );
+    println!("{:<18} | {:^34} | {:^34}", "Program Name", "Tofino", "IPU");
     println!(
         "{:<18} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}",
         "", "Other(s)", "+OPT5(s)", "+OPT4,5(s)", "Other(s)", "+OPT5(s)", "+OPT4,5(s)"

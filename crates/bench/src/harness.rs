@@ -1,0 +1,133 @@
+//! A minimal, dependency-free micro-benchmark harness with a
+//! Criterion-shaped API (`Criterion::default().sample_size(n)`,
+//! `bench_function(name, |b| b.iter(|| ...))`).
+//!
+//! Each sample times a calibrated batch of iterations (batched so that
+//! per-sample overhead stays below the measurement), and the report shows
+//! min / median / mean per-iteration times.  Intentionally simple: no
+//! outlier analysis, no plots, no saved baselines — just stable wall-clock
+//! numbers printable in CI logs.
+
+use std::hint::black_box as bb;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can `use ph_bench::harness::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    bb(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    min_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            min_sample_time: Duration::from_millis(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (each sample is a batch).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark and prints a report line.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up / calibration: find a batch size whose wall time exceeds
+        // the minimum sample time, doubling from 1.
+        let mut batch: u64 = 1;
+        loop {
+            b.iters = batch;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed >= self.min_sample_time || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.iters = batch;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            per_iter.push(b.elapsed.as_secs_f64() / batch as f64);
+        }
+        per_iter.sort_by(|a, c| a.partial_cmp(c).unwrap());
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "{name:<44} min {:>10}  median {:>10}  mean {:>10}  ({} samples x {} iters)",
+            fmt_secs(min),
+            fmt_secs(median),
+            fmt_secs(mean),
+            self.sample_size,
+            batch,
+        );
+        self
+    }
+}
+
+/// Per-benchmark timing handle passed to the closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`; the return value is black-boxed so the
+    /// optimizer cannot discard the work.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            bb(f());
+        }
+        self.elapsed += t0.elapsed();
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrates_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut count = 0u64;
+        c.bench_function("harness/self_test", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        assert!(count > 0);
+    }
+}

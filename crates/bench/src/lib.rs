@@ -12,6 +12,8 @@
 //!   (default 10; the paper used 24 h — timeouts print as `>Ns`, exactly
 //!   like the paper's `>86400` rows).
 
+pub mod harness;
+
 use ph_baseline::{compile_dp, compile_ipu, compile_tofino};
 use ph_core::{OptConfig, SynthError, SynthParams, Synthesizer};
 use ph_hw::DeviceProfile;
@@ -69,7 +71,10 @@ pub fn run_parserhawk(
 ) -> RunResult {
     let t0 = Instant::now();
     let r = Synthesizer::new(device.clone(), opts)
-        .with_params(SynthParams { timeout: Some(timeout), ..Default::default() })
+        .with_params(SynthParams {
+            timeout: Some(timeout),
+            ..Default::default()
+        })
         .synthesize(spec);
     let time = t0.elapsed();
     match r {

@@ -2,16 +2,15 @@
 //!
 //! The paper validates compiled parsers end-to-end by sending crafted
 //! TCP/IP packets through bmv2 and checking the parsed fields.  This module
-//! builds the same class of packets as byte buffers ([`bytes::BytesMut`])
-//! and converts them to bitstreams for the two simulators.
+//! builds the same class of packets as plain byte buffers and converts them
+//! to bitstreams for the two simulators.
 
-use bytes::{BufMut, BytesMut};
-use ph_bits::BitString;
+use ph_bits::{BitString, Rng};
 
 /// Builder for Ethernet/IPv4/TCP frames (fields sized as on the wire).
 #[derive(Clone, Debug)]
 pub struct PacketBuilder {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl Default for PacketBuilder {
@@ -23,57 +22,59 @@ impl Default for PacketBuilder {
 impl PacketBuilder {
     /// An empty packet.
     pub fn new() -> PacketBuilder {
-        PacketBuilder { buf: BytesMut::with_capacity(128) }
+        PacketBuilder {
+            buf: Vec::with_capacity(128),
+        }
     }
 
     /// Appends a 14-byte Ethernet II header.
     pub fn ethernet(mut self, dst: [u8; 6], src: [u8; 6], ethertype: u16) -> Self {
-        self.buf.put_slice(&dst);
-        self.buf.put_slice(&src);
-        self.buf.put_u16(ethertype);
+        self.buf.extend_from_slice(&dst);
+        self.buf.extend_from_slice(&src);
+        self.buf.extend_from_slice(&ethertype.to_be_bytes());
         self
     }
 
     /// Appends a minimal 20-byte IPv4 header with the given protocol and
     /// destination address.
     pub fn ipv4(mut self, proto: u8, src: u32, dst: u32) -> Self {
-        self.buf.put_u8(0x45); // version 4, IHL 5
-        self.buf.put_u8(0); // DSCP/ECN
-        self.buf.put_u16(20); // total length (placeholder)
-        self.buf.put_u16(0); // identification
-        self.buf.put_u16(0); // flags/fragment
-        self.buf.put_u8(64); // TTL
-        self.buf.put_u8(proto);
-        self.buf.put_u16(0); // checksum (unchecked by parsers)
-        self.buf.put_u32(src);
-        self.buf.put_u32(dst);
+        self.buf.push(0x45); // version 4, IHL 5
+        self.buf.push(0); // DSCP/ECN
+        self.buf.extend_from_slice(&20u16.to_be_bytes()); // total length (placeholder)
+        self.buf.extend_from_slice(&[0, 0]); // identification
+        self.buf.extend_from_slice(&[0, 0]); // flags/fragment
+        self.buf.push(64); // TTL
+        self.buf.push(proto);
+        self.buf.extend_from_slice(&[0, 0]); // checksum (unchecked by parsers)
+        self.buf.extend_from_slice(&src.to_be_bytes());
+        self.buf.extend_from_slice(&dst.to_be_bytes());
         self
     }
 
     /// Appends a minimal 20-byte TCP header.
     pub fn tcp(mut self, sport: u16, dport: u16) -> Self {
-        self.buf.put_u16(sport);
-        self.buf.put_u16(dport);
-        self.buf.put_u32(0); // seq
-        self.buf.put_u32(0); // ack
-        self.buf.put_u8(0x50); // data offset 5
-        self.buf.put_u8(0); // flags
-        self.buf.put_u16(0xffff); // window
-        self.buf.put_u16(0); // checksum
-        self.buf.put_u16(0); // urgent
+        self.buf.extend_from_slice(&sport.to_be_bytes());
+        self.buf.extend_from_slice(&dport.to_be_bytes());
+        self.buf.extend_from_slice(&[0; 4]); // seq
+        self.buf.extend_from_slice(&[0; 4]); // ack
+        self.buf.push(0x50); // data offset 5
+        self.buf.push(0); // flags
+        self.buf.extend_from_slice(&0xffffu16.to_be_bytes()); // window
+        self.buf.extend_from_slice(&[0, 0]); // checksum
+        self.buf.extend_from_slice(&[0, 0]); // urgent
         self
     }
 
     /// Appends an MPLS label-stack entry.
     pub fn mpls(mut self, label: u32, bos: bool, ttl: u8) -> Self {
         let word = (label << 12) | ((bos as u32) << 8) | ttl as u32;
-        self.buf.put_u32(word);
+        self.buf.extend_from_slice(&word.to_be_bytes());
         self
     }
 
     /// Appends raw payload bytes.
     pub fn payload(mut self, bytes: &[u8]) -> Self {
-        self.buf.put_slice(bytes);
+        self.buf.extend_from_slice(bytes);
         self
     }
 
@@ -89,7 +90,7 @@ impl PacketBuilder {
 }
 
 /// A random bitstream of `len` bits (the Fig. 22 input-space sampler).
-pub fn random_bits(len: usize, rng: &mut impl rand::Rng) -> BitString {
+pub fn random_bits(len: usize, rng: &mut Rng) -> BitString {
     let mut b = BitString::zeros(len);
     for i in 0..len {
         b.set(i, rng.gen_bool(0.5));
@@ -132,9 +133,8 @@ mod tests {
 
     #[test]
     fn random_bits_deterministic_by_seed() {
-        use rand::SeedableRng;
-        let mut a = rand::rngs::StdRng::seed_from_u64(9);
-        let mut b = rand::rngs::StdRng::seed_from_u64(9);
+        let mut a = Rng::seed_from_u64(9);
+        let mut b = Rng::seed_from_u64(9);
         assert_eq!(random_bits(64, &mut a), random_bits(64, &mut b));
     }
 }

@@ -17,7 +17,11 @@ pub struct Case {
 
 fn case(name: impl Into<String>, spec: ParserSpec) -> Case {
     let loopy = !ph_ir::analysis::is_loop_free(&spec);
-    Case { name: name.into(), spec, loopy }
+    Case {
+        name: name.into(),
+        spec,
+        loopy,
+    }
 }
 
 /// Builds the full evaluation registry in Table 3 row order.
@@ -26,24 +30,51 @@ pub fn registry() -> Vec<Case> {
 
     let eth = suite::parse_ethernet();
     out.push(case(eth.name, eth.spec.clone()));
-    out.push(case("Parse Ethernet + R1", rewrite::r1_add_redundant(&eth.spec)));
-    out.push(case("Parse Ethernet - R3", rewrite::r3_merge_entries(&eth.spec)));
-    out.push(case("Parse Ethernet + R2", rewrite::r2_add_unreachable(&eth.spec)));
+    out.push(case(
+        "Parse Ethernet + R1",
+        rewrite::r1_add_redundant(&eth.spec),
+    ));
+    out.push(case(
+        "Parse Ethernet - R3",
+        rewrite::r3_merge_entries(&eth.spec),
+    ));
+    out.push(case(
+        "Parse Ethernet + R2",
+        rewrite::r2_add_unreachable(&eth.spec),
+    ));
 
     let icmp = suite::parse_icmp();
     out.push(case(icmp.name, icmp.spec.clone()));
-    out.push(case("Parse icmp + R5", rewrite::r5_split_states(&icmp.spec)));
-    out.push(case("Parse icmp - R3", rewrite::r3_merge_entries(&icmp.spec)));
+    out.push(case(
+        "Parse icmp + R5",
+        rewrite::r5_split_states(&icmp.spec),
+    ));
+    out.push(case(
+        "Parse icmp - R3",
+        rewrite::r3_merge_entries(&icmp.spec),
+    ));
 
     let mpls = suite::parse_mpls();
     out.push(case(mpls.name, mpls.spec.clone()));
-    out.push(case("Parse MPLS + unroll loop", rewrite::unroll(&mpls.spec, 6)));
-    out.push(case("Parse MPLS - R1", rewrite::r1_remove_redundant(&mpls.spec)));
-    out.push(case("Parse MPLS + R1", rewrite::r1_add_redundant(&mpls.spec)));
+    out.push(case(
+        "Parse MPLS + unroll loop",
+        rewrite::unroll(&mpls.spec, 6),
+    ));
+    out.push(case(
+        "Parse MPLS - R1",
+        rewrite::r1_remove_redundant(&mpls.spec),
+    ));
+    out.push(case(
+        "Parse MPLS + R1",
+        rewrite::r1_add_redundant(&mpls.spec),
+    ));
 
     let ltk = suite::large_tran_key();
     out.push(case(ltk.name, ltk.spec.clone()));
-    out.push(case("Large tran key + R4", rewrite::r4_split_key(&ltk.spec, 8)));
+    out.push(case(
+        "Large tran key + R4",
+        rewrite::r4_split_key(&ltk.spec, 8),
+    ));
     out.push(case(
         "Large tran key + R1 + R4",
         rewrite::r4_split_key(&rewrite::r1_add_redundant(&ltk.spec), 8),
@@ -55,7 +86,10 @@ pub fn registry() -> Vec<Case> {
 
     let mks = suite::multi_key_same_field();
     out.push(case(mks.name, mks.spec.clone()));
-    out.push(case("Multi-key (same) - R5", rewrite::r5_merge_states(&mks.spec)));
+    out.push(case(
+        "Multi-key (same) - R5",
+        rewrite::r5_merge_states(&mks.spec),
+    ));
     out.push(case(
         "Multi-key (same) - R5 - R3",
         rewrite::r3_merge_entries(&rewrite::r5_merge_states(&mks.spec)),
@@ -63,8 +97,14 @@ pub fn registry() -> Vec<Case> {
 
     let mkd = suite::multi_key_diff_fields();
     out.push(case(mkd.name, mkd.spec.clone()));
-    out.push(case("Multi-keys (diff) + R5", rewrite::r5_split_states(&mkd.spec)));
-    out.push(case("Multi-keys (diff) - R5", rewrite::r5_merge_states(&mkd.spec)));
+    out.push(case(
+        "Multi-keys (diff) + R5",
+        rewrite::r5_split_states(&mkd.spec),
+    ));
+    out.push(case(
+        "Multi-keys (diff) - R5",
+        rewrite::r5_merge_states(&mkd.spec),
+    ));
 
     let pure = suite::pure_extraction();
     out.push(case(pure.name, pure.spec.clone()));
@@ -111,22 +151,38 @@ mod tests {
     #[test]
     fn registry_builds_and_validates() {
         let cases = registry();
-        assert!(cases.len() >= 25, "expected a full registry, got {}", cases.len());
+        assert!(
+            cases.len() >= 25,
+            "expected a full registry, got {}",
+            cases.len()
+        );
         for c in &cases {
             assert!(c.spec.validate().is_ok(), "{}", c.name);
         }
         // Exactly the MPLS family is loopy (unrolled variant is not).
-        let loopy: Vec<&str> =
-            cases.iter().filter(|c| c.loopy).map(|c| c.name.as_str()).collect();
-        assert_eq!(loopy, vec!["Parse MPLS", "Parse MPLS - R1", "Parse MPLS + R1"]);
+        let loopy: Vec<&str> = cases
+            .iter()
+            .filter(|c| c.loopy)
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(
+            loopy,
+            vec!["Parse MPLS", "Parse MPLS - R1", "Parse MPLS + R1"]
+        );
     }
 
     #[test]
     fn variants_differ_from_bases() {
         let cases = registry();
         let by_name = |n: &str| cases.iter().find(|c| c.name == n).unwrap();
-        assert_ne!(by_name("Parse Ethernet").spec, by_name("Parse Ethernet + R1").spec);
-        assert_ne!(by_name("Large tran key").spec, by_name("Large tran key + R4").spec);
+        assert_ne!(
+            by_name("Parse Ethernet").spec,
+            by_name("Parse Ethernet + R1").spec
+        );
+        assert_ne!(
+            by_name("Large tran key").spec,
+            by_name("Large tran key + R4").spec
+        );
         assert_ne!(
             by_name("Pure Extraction states").spec,
             by_name("Pure Extraction + state merging").spec

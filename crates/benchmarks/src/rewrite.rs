@@ -129,12 +129,17 @@ fn slice_key(parts: &[KeyPart], start: usize, end: usize) -> Vec<KeyPart> {
         if lo < hi {
             let (rl, rh) = (lo - off, hi - off);
             out.push(match *kp {
-                KeyPart::Slice { field, start: s, .. } => {
-                    KeyPart::Slice { field, start: s + rl, end: s + rh }
-                }
-                KeyPart::Lookahead { start: s, .. } => {
-                    KeyPart::Lookahead { start: s + rl, end: s + rh }
-                }
+                KeyPart::Slice {
+                    field, start: s, ..
+                } => KeyPart::Slice {
+                    field,
+                    start: s + rl,
+                    end: s + rh,
+                },
+                KeyPart::Lookahead { start: s, .. } => KeyPart::Lookahead {
+                    start: s + rl,
+                    end: s + rh,
+                },
             });
         }
         off += w;
@@ -154,7 +159,11 @@ pub fn r4_split_key(spec: &ParserSpec, chunk: usize) -> ParserSpec {
         if kw <= chunk || st.transitions.is_empty() {
             continue;
         }
-        if st.transitions.iter().any(|t| t.pattern.wildcard_bits() != 0) {
+        if st
+            .transitions
+            .iter()
+            .any(|t| t.pattern.wildcard_bits() != 0)
+        {
             continue;
         }
         let hi = slice_key(&st.key, 0, chunk);
@@ -165,7 +174,10 @@ pub fn r4_split_key(spec: &ParserSpec, chunk: usize) -> ParserSpec {
         for tr in &st.transitions {
             let hpat = tr.pattern.slice(0, chunk);
             let lpat = tr.pattern.slice(chunk, kw);
-            let lowered = Transition { pattern: lpat, next: tr.next };
+            let lowered = Transition {
+                pattern: lpat,
+                next: tr.next,
+            };
             match groups.iter_mut().find(|(g, _)| *g == hpat) {
                 Some((_, v)) => v.push(lowered),
                 None => groups.push((hpat, vec![lowered])),
@@ -182,7 +194,10 @@ pub fn r4_split_key(spec: &ParserSpec, chunk: usize) -> ParserSpec {
                 transitions: rules,
                 default: st.default,
             });
-            hi_rules.push(Transition { pattern: hpat, next: NextState::State(id) });
+            hi_rules.push(Transition {
+                pattern: hpat,
+                next: NextState::State(id),
+            });
         }
         let top = &mut out.states[si];
         top.key = hi;
@@ -243,7 +258,9 @@ pub fn r5_merge_states(spec: &ParserSpec) -> ParserSpec {
                 && matches!(st.default, NextState::State(c) if c.0 != i && deg[c.0] == 1)
         });
         let Some(pi) = target else { break };
-        let NextState::State(ci) = out.states[pi].default else { unreachable!() };
+        let NextState::State(ci) = out.states[pi].default else {
+            unreachable!()
+        };
         let child = out.states[ci.0].clone();
         let parent = &mut out.states[pi];
         parent.extracts.extend(child.extracts);
@@ -283,7 +300,11 @@ fn prune(spec: &ParserSpec) -> ParserSpec {
             st
         })
         .collect();
-    ParserSpec { fields: spec.fields.clone(), states, start: StateId(map[spec.start.0]) }
+    ParserSpec {
+        fields: spec.fields.clone(),
+        states,
+        start: StateId(map[spec.start.0]),
+    }
 }
 
 #[cfg(test)]
@@ -292,11 +313,10 @@ mod tests {
     use crate::suite;
     use ph_bits::BitString;
     use ph_ir::{simulate, ParseStatus};
-    use rand::{Rng, SeedableRng};
 
     fn assert_equiv(a: &ParserSpec, b: &ParserSpec, rounds: usize, seed: u64) {
         assert!(b.validate().is_ok());
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = ph_bits::Rng::seed_from_u64(seed);
         let max = ph_ir::analysis::max_bits_consumed(a, 12).max(8);
         for _ in 0..rounds {
             let len = rng.gen_range(0..=max + 8);

@@ -512,7 +512,11 @@ mod tests {
             assert!(b.spec.validate().is_ok(), "{}", b.name);
             assert_eq!(!analysis::is_loop_free(&b.spec), b.loopy, "{}", b.name);
         }
-        for b in [me1_entry_merging(), me2_key_splitting(), me3_redundant_entries()] {
+        for b in [
+            me1_entry_merging(),
+            me2_key_splitting(),
+            me3_redundant_entries(),
+        ] {
             assert!(b.spec.validate().is_ok(), "{}", b.name);
         }
     }
@@ -532,8 +536,8 @@ mod tests {
         let b = me3_redundant_entries();
         // Every input accepts after extracting both fields: any single
         // catch-all implementation suffices, which is what ParserHawk finds.
-        let input = ph_bits::BitString::from_u64(0xAB, 8)
-            .concat(&ph_bits::BitString::from_u64(2, 2));
+        let input =
+            ph_bits::BitString::from_u64(0xAB, 8).concat(&ph_bits::BitString::from_u64(2, 2));
         let r = ph_ir::simulate(&b.spec, &input, 8);
         assert_eq!(r.status, ph_ir::ParseStatus::Accept);
     }

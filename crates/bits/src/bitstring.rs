@@ -5,7 +5,6 @@
 //! masks are all bit strings.  Index 0 is the first bit on the wire (the most
 //! significant bit of the first byte), matching P4's `pkt.extract` semantics.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An immutable-length, mutable-content sequence of bits, MSB-first.
@@ -25,7 +24,7 @@ use std::fmt;
 /// assert_eq!(b.get(3), false);
 /// assert_eq!(b.slice(1, 3).to_string(), "01");
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct BitString {
     len: usize,
     words: Vec<u64>,
@@ -34,12 +33,18 @@ pub struct BitString {
 impl BitString {
     /// The empty bit string.
     pub fn empty() -> Self {
-        BitString { len: 0, words: Vec::new() }
+        BitString {
+            len: 0,
+            words: Vec::new(),
+        }
     }
 
     /// A string of `len` zero bits.
     pub fn zeros(len: usize) -> Self {
-        BitString { len, words: vec![0; len.div_ceil(64)] }
+        BitString {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
     }
 
     /// A string of `len` one bits.
@@ -127,13 +132,21 @@ impl BitString {
 
     /// Reads bit `i` (0 = first / most significant).  Panics out of range.
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         (self.words[i / 64] >> (63 - (i % 64))) & 1 == 1
     }
 
     /// Writes bit `i`.  Panics out of range.
     pub fn set(&mut self, i: usize, v: bool) {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         let w = &mut self.words[i / 64];
         let bit = 1u64 << (63 - (i % 64));
         if v {
@@ -146,7 +159,11 @@ impl BitString {
     /// Copies bits `[start, end)` into a new string.  Panics if out of range
     /// or `start > end`.
     pub fn slice(&self, start: usize, end: usize) -> Self {
-        assert!(start <= end && end <= self.len, "slice [{start},{end}) of len {}", self.len);
+        assert!(
+            start <= end && end <= self.len,
+            "slice [{start},{end}) of len {}",
+            self.len
+        );
         let mut out = Self::zeros(end - start);
         for i in start..end {
             out.set(i - start, self.get(i));
@@ -168,7 +185,7 @@ impl BitString {
 
     /// Appends a single bit in place.
     pub fn push(&mut self, v: bool) {
-        if self.len % 64 == 0 {
+        if self.len.is_multiple_of(64) {
             self.words.push(0);
         }
         self.len += 1;
@@ -272,7 +289,7 @@ impl fmt::Debug for BitString {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::Rng;
 
     #[test]
     fn from_u64_roundtrip() {
@@ -360,38 +377,54 @@ mod tests {
         assert_eq!(b.to_u128(), v);
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip_u64(v in any::<u64>(), extra in 0usize..4) {
-            let width = 64usize;
-            let _ = extra;
-            let b = BitString::from_u64(v, width);
-            prop_assert_eq!(b.to_u64(), v);
-        }
+    fn random_bits(rng: &mut Rng, max_len: usize) -> Vec<bool> {
+        let len = rng.gen_range(0..=max_len);
+        (0..len).map(|_| rng.gen_bool(0.5)).collect()
+    }
 
-        #[test]
-        fn prop_slice_concat(bits in proptest::collection::vec(any::<bool>(), 0..200), cut in 0usize..200) {
-            let b = BitString::from_bits(&bits);
-            let cut = cut.min(b.len());
+    #[test]
+    fn prop_roundtrip_u64() {
+        let mut rng = Rng::seed_from_u64(0xb171);
+        for _ in 0..256 {
+            let v = rng.next_u64();
+            let b = BitString::from_u64(v, 64);
+            assert_eq!(b.to_u64(), v);
+        }
+    }
+
+    #[test]
+    fn prop_slice_concat() {
+        let mut rng = Rng::seed_from_u64(0xb172);
+        for _ in 0..256 {
+            let b = BitString::from_bits(&random_bits(&mut rng, 199));
+            let cut = rng.gen_range(0..200usize).min(b.len());
             let l = b.slice(0, cut);
             let r = b.slice(cut, b.len());
-            prop_assert_eq!(l.concat(&r), b);
+            assert_eq!(l.concat(&r), b);
         }
+    }
 
-        #[test]
-        fn prop_demorgan(bits_a in proptest::collection::vec(any::<bool>(), 1..100)) {
-            let a = BitString::from_bits(&bits_a);
-            let b = a.not();
-            prop_assert_eq!(a.and(&b).count_ones(), 0);
-            prop_assert_eq!(a.or(&b).count_ones(), a.len());
-            prop_assert_eq!(a.xor(&b).count_ones(), a.len());
-        }
-
-        #[test]
-        fn prop_display_parse_roundtrip(bits in proptest::collection::vec(any::<bool>(), 0..100)) {
+    #[test]
+    fn prop_demorgan() {
+        let mut rng = Rng::seed_from_u64(0xb173);
+        for _ in 0..256 {
+            let mut bits = random_bits(&mut rng, 99);
+            bits.push(rng.gen_bool(0.5)); // non-empty
             let a = BitString::from_bits(&bits);
+            let b = a.not();
+            assert_eq!(a.and(&b).count_ones(), 0);
+            assert_eq!(a.or(&b).count_ones(), a.len());
+            assert_eq!(a.xor(&b).count_ones(), a.len());
+        }
+    }
+
+    #[test]
+    fn prop_display_parse_roundtrip() {
+        let mut rng = Rng::seed_from_u64(0xb174);
+        for _ in 0..256 {
+            let a = BitString::from_bits(&random_bits(&mut rng, 99));
             let s = a.to_string();
-            prop_assert_eq!(BitString::parse_binary(&s).unwrap(), a);
+            assert_eq!(BitString::parse_binary(&s).unwrap(), a);
         }
     }
 }

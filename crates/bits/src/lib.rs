@@ -12,14 +12,19 @@
 //! * [`Ternary`] — a value/mask pair implementing TCAM match semantics
 //!   (`key & mask == value & mask`), with cover/overlap/merge algebra used by
 //!   both the baseline compilers and the synthesis engine.
+//! * [`Rng`] — a self-contained deterministic SplitMix64 generator backing the
+//!   randomized tests, validation sampling and packet generators (the build
+//!   runs offline, so no external `rand` dependency).
 //!
 //! The semantics follow §3.2 of the ParserHawk paper: a mask bit of `1` means
 //! *care*, `0` means *wildcard*.
 
 mod bitstring;
+pub mod rng;
 mod ternary;
 
 pub use bitstring::BitString;
+pub use rng::Rng;
 pub use ternary::Ternary;
 
 /// Number of bits needed to represent values `0..=max` (at least 1).

@@ -1,0 +1,179 @@
+//! Small deterministic PRNG used across the workspace for randomized tests,
+//! validation sampling and packet generation.
+//!
+//! The build environment is fully offline, so instead of depending on the
+//! `rand` crate we keep a self-contained SplitMix64 generator here.  SplitMix64
+//! passes BigCrush, needs only a single `u64` of state, and — crucially for
+//! reproducing synthesis runs — is trivially seedable from a `u64` so every
+//! randomized component of the pipeline stays deterministic per seed.
+//!
+//! The API mirrors the subset of `rand::Rng` the codebase actually uses
+//! (`gen_bool`, `gen_range` over half-open and inclusive integer ranges) to
+//! keep call sites idiomatic.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic SplitMix64 pseudo-random generator.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.  Equal seeds yield equal
+    /// streams on every platform.
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// Next raw 64-bit output (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        // 53 high bits give a uniform double in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        u < p
+    }
+
+    /// Uniform draw from an integer range; accepts `a..b` and `a..=b` over
+    /// `u64` and `usize`.  Panics on empty ranges, like `rand` does.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Uniform `u64` in `[0, bound)` via Lemire-style rejection to avoid
+    /// modulo bias.  `bound` must be non-zero.
+    fn bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        if bound.is_power_of_two() {
+            return self.next_u64() & (bound - 1);
+        }
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u64();
+            let (hi, lo) = {
+                let wide = (r as u128) * (bound as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= threshold {
+                return hi;
+            }
+        }
+    }
+}
+
+/// Integer ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    type Output;
+    fn sample(self, rng: &mut Rng) -> Self::Output;
+}
+
+impl SampleRange for Range<u64> {
+    type Output = u64;
+    fn sample(self, rng: &mut Rng) -> u64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        self.start + rng.bounded(self.end - self.start)
+    }
+}
+
+impl SampleRange for RangeInclusive<u64> {
+    type Output = u64;
+    fn sample(self, rng: &mut Rng) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range on empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return rng.next_u64();
+        }
+        lo + rng.bounded(span + 1)
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut Rng) -> usize {
+        rng.gen_range(self.start as u64..self.end as u64) as usize
+    }
+}
+
+impl SampleRange for RangeInclusive<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut Rng) -> usize {
+        rng.gen_range(*self.start() as u64..=*self.end() as u64) as usize
+    }
+}
+
+impl SampleRange for Range<u32> {
+    type Output = u32;
+    fn sample(self, rng: &mut Rng) -> u32 {
+        rng.gen_range(self.start as u64..self.end as u64) as u32
+    }
+}
+
+impl SampleRange for RangeInclusive<u32> {
+    type Output = u32;
+    fn sample(self, rng: &mut Rng) -> u32 {
+        rng.gen_range(*self.start() as u64..=*self.end() as u64) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3..=10usize);
+            assert!((3..=10).contains(&x));
+            let y = rng.gen_range(0..5u64);
+            assert!(y < 5);
+            let z = rng.gen_range(0..=u64::MAX);
+            let _ = z;
+        }
+    }
+
+    #[test]
+    fn every_value_reachable() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_balance() {
+        let mut rng = Rng::seed_from_u64(9);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let heads = (0..2000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((800..1200).contains(&heads), "biased coin: {heads}");
+    }
+}

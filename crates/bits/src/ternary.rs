@@ -9,7 +9,6 @@
 //! constant-synthesis candidate generation require.
 
 use crate::BitString;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A value/mask pattern of fixed width.
@@ -29,7 +28,7 @@ use std::fmt;
 /// assert!(!t.matches(&BitString::from_u64(0b1011, 4)));
 /// assert_eq!(t.to_string(), "1**0");
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Ternary {
     value: BitString,
     mask: BitString,
@@ -40,7 +39,10 @@ impl Ternary {
     /// Value bits under wildcard mask bits are normalized to zero.
     pub fn new(value: BitString, mask: BitString) -> Self {
         assert_eq!(value.len(), mask.len(), "value/mask width mismatch");
-        Ternary { value: value.and(&mask), mask }
+        Ternary {
+            value: value.and(&mask),
+            mask,
+        }
     }
 
     /// An exact-match pattern (mask all ones).
@@ -56,7 +58,10 @@ impl Ternary {
 
     /// The all-wildcard pattern of the given width (matches every key).
     pub fn any(width: usize) -> Self {
-        Ternary { value: BitString::zeros(width), mask: BitString::zeros(width) }
+        Ternary {
+            value: BitString::zeros(width),
+            mask: BitString::zeros(width),
+        }
     }
 
     /// Parses patterns like `"1**0"` where `*` is a wildcard bit.
@@ -82,7 +87,10 @@ impl Ternary {
                 _ => return None,
             }
         }
-        Some(Ternary { value: BitString::from_bits(&value), mask: BitString::from_bits(&mask) })
+        Some(Ternary {
+            value: BitString::from_bits(&value),
+            mask: BitString::from_bits(&mask),
+        })
     }
 
     /// Pattern width in bits.
@@ -107,7 +115,9 @@ impl Ternary {
 
     /// Number of concrete keys this pattern matches (`2^wildcards`), saturating.
     pub fn match_count(&self) -> u128 {
-        1u128.checked_shl(self.wildcard_bits() as u32).unwrap_or(u128::MAX)
+        1u128
+            .checked_shl(self.wildcard_bits() as u32)
+            .unwrap_or(u128::MAX)
     }
 
     /// TCAM match: `key & mask == value & mask`.
@@ -166,8 +176,7 @@ impl Ternary {
     /// wildcard bits (guard against accidental explosion).
     pub fn enumerate(&self) -> Vec<BitString> {
         assert!(self.width() <= 64, "enumerate on wide pattern");
-        let wc: Vec<usize> =
-            (0..self.width()).filter(|&i| !self.mask.get(i)).collect();
+        let wc: Vec<usize> = (0..self.width()).filter(|&i| !self.mask.get(i)).collect();
         assert!(wc.len() <= 24, "too many wildcards to enumerate");
         let mut out = Vec::with_capacity(1 << wc.len());
         for combo in 0u64..(1 << wc.len()) {
@@ -182,7 +191,10 @@ impl Ternary {
 
     /// Extracts the sub-pattern covering bits `[start, end)`.
     pub fn slice(&self, start: usize, end: usize) -> Ternary {
-        Ternary { value: self.value.slice(start, end), mask: self.mask.slice(start, end) }
+        Ternary {
+            value: self.value.slice(start, end),
+            mask: self.mask.slice(start, end),
+        }
     }
 
     /// Concatenates two patterns.
@@ -219,7 +231,7 @@ impl fmt::Debug for Ternary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::Rng;
 
     fn t(s: &str) -> Ternary {
         Ternary::parse(s).unwrap()
@@ -246,8 +258,14 @@ mod tests {
 
     #[test]
     fn value_normalized_under_wildcards() {
-        let a = Ternary::new(BitString::from_u64(0b1111, 4), BitString::from_u64(0b1001, 4));
-        let b = Ternary::new(BitString::from_u64(0b1001, 4), BitString::from_u64(0b1001, 4));
+        let a = Ternary::new(
+            BitString::from_u64(0b1111, 4),
+            BitString::from_u64(0b1001, 4),
+        );
+        let b = Ternary::new(
+            BitString::from_u64(0b1001, 4),
+            BitString::from_u64(0b1001, 4),
+        );
         assert_eq!(a, b);
     }
 
@@ -308,43 +326,62 @@ mod tests {
         assert_eq!(Ternary::any(130).match_count(), u128::MAX);
     }
 
-    fn arb_ternary(width: usize) -> impl Strategy<Value = Ternary> {
-        proptest::collection::vec(prop_oneof![Just('0'), Just('1'), Just('*')], width)
-            .prop_map(|cs| Ternary::parse(&cs.iter().collect::<String>()).unwrap())
+    fn arb_ternary(rng: &mut Rng, width: usize) -> Ternary {
+        let s: String = (0..width)
+            .map(|_| ['0', '1', '*'][rng.gen_range(0..3usize)])
+            .collect();
+        Ternary::parse(&s).unwrap()
     }
 
-    proptest! {
-        #[test]
-        fn prop_enumerate_all_match(p in arb_ternary(8)) {
+    #[test]
+    fn prop_enumerate_all_match() {
+        let mut rng = Rng::seed_from_u64(0x7e51);
+        for _ in 0..256 {
+            let p = arb_ternary(&mut rng, 8);
             for k in p.enumerate() {
-                prop_assert!(p.matches(&k));
+                assert!(p.matches(&k), "{p}");
             }
-            prop_assert_eq!(p.enumerate().len() as u128, p.match_count());
+            assert_eq!(p.enumerate().len() as u128, p.match_count());
         }
+    }
 
-        #[test]
-        fn prop_covers_semantics(a in arb_ternary(6), b in arb_ternary(6)) {
+    #[test]
+    fn prop_covers_semantics() {
+        let mut rng = Rng::seed_from_u64(0x7e52);
+        for _ in 0..256 {
+            let a = arb_ternary(&mut rng, 6);
+            let b = arb_ternary(&mut rng, 6);
             let covers = a.covers(&b);
             let all_covered = b.enumerate().iter().all(|k| a.matches(k));
-            prop_assert_eq!(covers, all_covered);
+            assert_eq!(covers, all_covered, "{a} covers {b}");
         }
+    }
 
-        #[test]
-        fn prop_overlap_semantics(a in arb_ternary(6), b in arb_ternary(6)) {
+    #[test]
+    fn prop_overlap_semantics() {
+        let mut rng = Rng::seed_from_u64(0x7e53);
+        for _ in 0..256 {
+            let a = arb_ternary(&mut rng, 6);
+            let b = arb_ternary(&mut rng, 6);
             let overlap = a.overlaps(&b);
             let any_common = a.enumerate().iter().any(|k| b.matches(k));
-            prop_assert_eq!(overlap, any_common);
+            assert_eq!(overlap, any_common, "{a} overlaps {b}");
         }
+    }
 
-        #[test]
-        fn prop_merge_is_exact_union(a in arb_ternary(6), b in arb_ternary(6)) {
+    #[test]
+    fn prop_merge_is_exact_union() {
+        let mut rng = Rng::seed_from_u64(0x7e54);
+        for _ in 0..256 {
+            let a = arb_ternary(&mut rng, 6);
+            let b = arb_ternary(&mut rng, 6);
             if let Some(m) = a.merge(&b) {
                 // m matches exactly the union of a's and b's match sets
                 for k in m.enumerate() {
-                    prop_assert!(a.matches(&k) || b.matches(&k));
+                    assert!(a.matches(&k) || b.matches(&k), "{a} + {b} -> {m}");
                 }
                 for k in a.enumerate().into_iter().chain(b.enumerate()) {
-                    prop_assert!(m.matches(&k));
+                    assert!(m.matches(&k), "{a} + {b} -> {m}");
                 }
             }
         }

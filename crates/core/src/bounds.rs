@@ -23,7 +23,11 @@ pub struct Bounds {
 
 /// Bits consumed by one visit of state `s` (max widths).
 fn state_consumption(spec: &ParserSpec, s: StateId) -> usize {
-    spec.state(s).extracts.iter().map(|&f| spec.field(f).width).sum()
+    spec.state(s)
+        .extracts
+        .iter()
+        .map(|&f| spec.field(f).width)
+        .sum()
 }
 
 /// Longest path in the (state, position) product graph starting from
@@ -130,7 +134,11 @@ mod tests {
                 State {
                     name: "s0".into(),
                     extracts: vec![FieldId(0)],
-                    key: vec![KeyPart::Slice { field: FieldId(0), start: 0, end: 1 }],
+                    key: vec![KeyPart::Slice {
+                        field: FieldId(0),
+                        start: 0,
+                        end: 1,
+                    }],
                     transitions: vec![Transition {
                         pattern: Ternary::parse("1").unwrap(),
                         next: if loopy {

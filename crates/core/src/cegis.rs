@@ -8,6 +8,12 @@
 //! candidate tightens the budget and the loop re-enters synthesis; an UNSAT
 //! under the tightened assumption proves the previous candidate minimal
 //! over this skeleton.
+//!
+//! Verification is incremental too: a second persistent instance
+//! ([`IncrementalVerifier`]) carries the spec-path formula and the symbolic
+//! implementation for the whole run, and candidates are pinned onto its
+//! free skeleton variables with assumptions — no per-candidate solver
+//! construction.
 
 use crate::bounds::{compute_bounds, Bounds};
 use crate::encode::encode_impl;
@@ -17,11 +23,10 @@ use crate::skeleton::{self, build_shape, build_vars, ConcreteSkel, Shape};
 use crate::specenc::{encode_spec_paths, mismatch_term};
 use crate::validate;
 use crate::{OptConfig, SynthError, SynthOutput, SynthParams, SynthStats};
-use ph_bits::BitString;
+use ph_bits::{BitString, Rng};
 use ph_hw::DeviceProfile;
 use ph_ir::{analysis, NextState, ParseStatus, ParserSpec, StateId};
 use ph_smt::{Smt, SmtResult, Term};
-use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -50,7 +55,9 @@ pub fn unroll_spec(spec: &ParserSpec, depth: usize) -> ParserSpec {
             let mut copy = st.clone();
             copy.name = format!("{}@{d}", st.name);
             let redirect = |nx: NextState| match nx {
-                NextState::State(t) if d + 1 < depth => NextState::State(StateId((d + 1) * n + t.0)),
+                NextState::State(t) if d + 1 < depth => {
+                    NextState::State(StateId((d + 1) * n + t.0))
+                }
                 NextState::State(_) => NextState::Reject, // depth exhausted
                 other => other,
             };
@@ -88,7 +95,11 @@ fn prune(spec: &ParserSpec) -> ParserSpec {
             st
         })
         .collect();
-    ParserSpec { fields: spec.fields.clone(), states, start: StateId(map[spec.start.0]) }
+    ParserSpec {
+        fields: spec.fields.clone(),
+        states,
+        start: StateId(map[spec.start.0]),
+    }
 }
 
 /// Watchdog that trips an interrupt flag at a wall-clock deadline.
@@ -170,7 +181,16 @@ pub fn synthesize_one(
     let shape = build_shape(&reduced, device, opts, loopy, params.spare_states)
         .map_err(SynthError::Unsupported)?;
 
-    run_cegis(&working_spec, &reduced.spec, &shape, device, params, bounds, flag, t0)
+    run_cegis(
+        &working_spec,
+        &reduced.spec,
+        &shape,
+        device,
+        params,
+        bounds,
+        flag,
+        t0,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -185,7 +205,7 @@ fn run_cegis(
     t0: Instant,
 ) -> Result<SynthOutput, SynthError> {
     let mut stats = SynthStats::default();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(params.seed);
+    let mut rng = Rng::seed_from_u64(params.seed);
     let l = bounds.input_bits.max(1);
     let k_impl = shape_k(shape, &bounds);
     let k_spec = bounds.spec_iters + 1;
@@ -194,6 +214,15 @@ fn run_cegis(
     smt.set_interrupt(Some(flag.clone()));
     let vars = build_vars(&mut smt, shape, device);
     stats.search_space_bits = vars.search_space_bits;
+
+    // Persistent verification engine: the spec-path formula and the symbolic
+    // implementation are encoded exactly once; every candidate (and every
+    // shrink_masks trial) is checked under assumptions against this one
+    // instance.
+    let tv = Instant::now();
+    let mut verifier = IncrementalVerifier::new(shape, red_spec, l, k_impl, k_spec, &flag)?;
+    stats.verify_solver_builds += 1;
+    stats.verify_time += tv.elapsed();
 
     // Initial test cases: all-zeros plus two random inputs.
     let add_test = |smt: &mut Smt, input: &BitString, stats: &mut SynthStats| {
@@ -251,7 +280,11 @@ fn run_cegis(
         Stages,
         Entries,
     }
-    let mut phase = if single_table { MinPhase::Entries } else { MinPhase::Stages };
+    let mut phase = if single_table {
+        MinPhase::Entries
+    } else {
+        MinPhase::Stages
+    };
     let mut stage_cap: Option<u64> = None;
     let mut entry_cap: Option<u64> = None;
     let mut best: Option<ConcreteSkel> = None;
@@ -279,7 +312,10 @@ fn run_cegis(
                 return finish_or_timeout(best, shape, orig_spec, device, params, stats);
             }
             stats.cegis_iterations += 1;
-            match smt.check_assuming(&assumptions) {
+            let ts = Instant::now();
+            let synth_result = smt.check_assuming(&assumptions);
+            stats.synth_time += ts.elapsed();
+            match synth_result {
                 SmtResult::Unsat => {
                     let Some(b) = &best else {
                         return Err(SynthError::Infeasible(
@@ -304,8 +340,12 @@ fn run_cegis(
             }
             let candidate = skeleton::extract_model(&mut smt, shape, &vars);
 
-            // Verification phase: fresh solver, constant skeleton.
-            match verify_candidate(shape, red_spec, &candidate, l, k_impl, k_spec, &flag)? {
+            // Verification phase: one incremental check under assumptions.
+            let tv = Instant::now();
+            let verdict = verifier.verify(&candidate);
+            stats.verify_checks += 1;
+            stats.verify_time += tv.elapsed();
+            match verdict {
                 Verdict::Unknown => {
                     break 'outer;
                 }
@@ -348,7 +388,7 @@ fn run_cegis(
     // which lets the post-synthesis chain merger absorb trivial states.
     // Each proposal is re-verified symbolically, so the pass is sound.
     if let Some(conc) = best.take() {
-        best = Some(shrink_masks(shape, red_spec, conc, l, k_impl, k_spec, &flag)?);
+        best = Some(shrink_masks(shape, &mut verifier, conc, &flag, &mut stats));
     }
 
     stats.wall = t0.elapsed();
@@ -356,14 +396,92 @@ fn run_cegis(
 }
 
 /// Outcome of one symbolic verification.
-enum Verdict {
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// No input distinguishes the candidate from the spec.
     Verified,
+    /// A witness input on which candidate and spec disagree.
     Counterexample(BitString),
+    /// Interrupted or out of budget.
     Unknown,
 }
 
-/// Checks a concrete skeleton against every spec path symbolically.
-fn verify_candidate(
+/// Persistent verification engine.
+///
+/// The spec-path mismatch formula (φ_spec) and the symbolic implementation
+/// are encoded once over *free* skeleton variables; each candidate is
+/// checked by pinning those variables with equality assumptions
+/// ([`Smt::check_assuming`]).  The CDCL solver keeps its clause database,
+/// variable activities and learned lemmas across queries, and the
+/// bit-blaster's term cache means repeated pins (identical entries across
+/// candidates, `shrink_masks` trials) cost nothing to re-encode.  This
+/// drops verification solver constructions from O(candidates + entries) to
+/// exactly one per synthesis run.
+pub struct IncrementalVerifier<'a> {
+    shape: &'a Shape,
+    smt: Smt,
+    input: Term,
+    skel: skeleton::SkelTerms,
+}
+
+impl<'a> IncrementalVerifier<'a> {
+    /// Encodes the verification formula once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unsupported-spec errors from the path enumeration.
+    pub fn new(
+        shape: &'a Shape,
+        red_spec: &ParserSpec,
+        l: usize,
+        k_impl: usize,
+        k_spec: usize,
+        flag: &Arc<AtomicBool>,
+    ) -> Result<Self, SynthError> {
+        let mut smt = Smt::new();
+        smt.set_interrupt(Some(flag.clone()));
+        let input = smt.var("I", l as u32);
+        let skel = skeleton::build_verifier_terms(&mut smt, shape);
+        let out = encode_impl(&mut smt, shape, &skel, input, k_impl);
+        let paths = encode_spec_paths(&mut smt, red_spec, input, k_spec + 2, 1 << 16)
+            .map_err(SynthError::Unsupported)?;
+        let bad = mismatch_term(
+            &mut smt,
+            &paths,
+            input,
+            out.status,
+            &out.defined,
+            &out.values,
+            shape.accept_code() as u64,
+            shape.reject_code() as u64,
+            shape.ooi_code() as u64,
+        );
+        smt.assert(bad);
+        Ok(IncrementalVerifier {
+            shape,
+            smt,
+            input,
+            skel,
+        })
+    }
+
+    /// Checks one candidate: UNSAT under the pin assumptions means no input
+    /// distinguishes it from the spec.
+    pub fn verify(&mut self, candidate: &ConcreteSkel) -> Verdict {
+        let pins = skeleton::pin_candidate(&mut self.smt, self.shape, &self.skel, candidate);
+        match self.smt.check_assuming(&pins) {
+            SmtResult::Unsat => Verdict::Verified,
+            SmtResult::Sat => Verdict::Counterexample(self.smt.model_value(self.input)),
+            SmtResult::Unknown => Verdict::Unknown,
+        }
+    }
+}
+
+/// Checks a concrete skeleton against every spec path symbolically using a
+/// fresh solver with the skeleton baked in as constants — the
+/// pre-incremental path, kept as the differential-testing oracle for
+/// [`IncrementalVerifier`] and for benchmarking the rebuild cost.
+pub fn verify_candidate_fresh(
     shape: &Shape,
     red_spec: &ParserSpec,
     candidate: &ConcreteSkel,
@@ -399,40 +517,40 @@ fn verify_candidate(
 }
 
 /// Tries to clear each entry's mask (making it a catch-all), keeping each
-/// change only when the program still verifies.
+/// change only when the program still verifies.  Every trial is one
+/// incremental assumption check against the persistent verifier.
 fn shrink_masks(
     shape: &Shape,
-    red_spec: &ParserSpec,
+    verifier: &mut IncrementalVerifier<'_>,
     mut conc: ConcreteSkel,
-    l: usize,
-    k_impl: usize,
-    k_spec: usize,
     flag: &Arc<AtomicBool>,
-) -> Result<ConcreteSkel, SynthError> {
+    stats: &mut SynthStats,
+) -> ConcreteSkel {
     for s in 0..conc.entries.len() {
         for j in 0..conc.entries[s].len() {
             if conc.entries[s][j].mask.count_ones() == 0 {
                 continue;
             }
             if flag.load(Ordering::Relaxed) {
-                return Ok(conc);
+                return conc;
             }
             let mut trial = conc.clone();
             trial.entries[s][j].mask = BitString::zeros(shape.canon_width);
             trial.entries[s][j].value = BitString::zeros(shape.canon_width);
-            if matches!(
-                verify_candidate(shape, red_spec, &trial, l, k_impl, k_spec, flag)?,
-                Verdict::Verified
-            ) {
+            let tv = Instant::now();
+            let verdict = verifier.verify(&trial);
+            stats.verify_checks += 1;
+            stats.verify_time += tv.elapsed();
+            if verdict == Verdict::Verified {
                 conc = trial;
             }
         }
     }
-    Ok(conc)
+    conc
 }
 
 /// Unrolling depth for the implementation machine.
-fn shape_k(shape: &Shape, bounds: &Bounds) -> usize {
+pub fn shape_k(shape: &Shape, bounds: &Bounds) -> usize {
     if shape.loopy {
         // One slot visit per extraction run: spec visits x runs-per-visit,
         // plus the entry state and the final transition.
@@ -461,7 +579,11 @@ fn finish_or_timeout(
     let violations = ph_hw::check_program(&program, &orig_spec.fields);
     if !violations.is_empty() {
         return Err(SynthError::Infeasible(
-            violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("; "),
+            violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("; "),
         ));
     }
     Ok(SynthOutput { program, stats })

@@ -117,8 +117,7 @@ pub fn encode_impl(
                 let chosen = smt.eq(terms.ext_sel[t], slot_c);
                 let sel = smt.and(entered, chosen);
                 let run = &shape.slots[slot - 1];
-                let total: usize =
-                    run.iter().map(|f| shape.field_widths[f.0].max(1)).sum();
+                let total: usize = run.iter().map(|f| shape.field_widths[f.0].max(1)).sum();
 
                 // Per-field fit gating: the machine extracts a run field by
                 // field and keeps partial results when it runs out of input
@@ -143,8 +142,7 @@ pub fn encode_impl(
                             for p in (0..=(l - off - w)).rev() {
                                 let pc = smt.const_u64(p as u64, pbits);
                                 let at = smt.eq(pos, pc);
-                                let sl = smt
-                                    .extract(input, (p + off) as u32, (p + off + w) as u32);
+                                let sl = smt.extract(input, (p + off) as u32, (p + off + w) as u32);
                                 v = smt.ite(at, sl, v);
                             }
                             slice_cache.insert((off, w), v);
@@ -183,7 +181,11 @@ pub fn encode_impl(
         }
     }
 
-    ImplOutcome { status: cur, defined, values }
+    ImplOutcome {
+        status: cur,
+        defined,
+        values,
+    }
 }
 
 /// The value of lookahead bits `[start, end)` past a symbolic cursor:
@@ -309,10 +311,18 @@ mod tests {
             for f in 0..2 {
                 let fid = ph_ir::FieldId(f);
                 let def = smt.model_bool(out.defined[f]);
-                assert_eq!(def, expect.dict.get(fid).is_some(), "defined f{f} input {input}");
+                assert_eq!(
+                    def,
+                    expect.dict.get(fid).is_some(),
+                    "defined f{f} input {input}"
+                );
                 if def {
                     let v = smt.model_value(out.values[f]);
-                    assert_eq!(&v, expect.dict.get(fid).unwrap(), "value f{f} input {input}");
+                    assert_eq!(
+                        &v,
+                        expect.dict.get(fid).unwrap(),
+                        "value f{f} input {input}"
+                    );
                 }
             }
         }

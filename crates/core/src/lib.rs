@@ -98,12 +98,19 @@ impl OptConfig {
 
     /// The Table 5 "Other OPT" configuration: everything but Opt4 and Opt5.
     pub fn without_opt45() -> OptConfig {
-        OptConfig { opt4_constants: false, opt5_grouping: false, ..OptConfig::all() }
+        OptConfig {
+            opt4_constants: false,
+            opt5_grouping: false,
+            ..OptConfig::all()
+        }
     }
 
     /// The Table 5 "+OPT5" configuration: everything but Opt4.
     pub fn without_opt4() -> OptConfig {
-        OptConfig { opt4_constants: false, ..OptConfig::all() }
+        OptConfig {
+            opt4_constants: false,
+            ..OptConfig::all()
+        }
     }
 }
 
@@ -146,6 +153,16 @@ pub struct SynthStats {
     pub test_cases: usize,
     /// Budget levels explored during minimization.
     pub budget_levels: usize,
+    /// Verification solver instances constructed.  With the incremental
+    /// engine this is exactly 1 per synthesis run (it was one per candidate
+    /// plus one per `shrink_masks` trial before).
+    pub verify_solver_builds: usize,
+    /// Verification queries issued (candidate checks + mask-shrink trials).
+    pub verify_checks: usize,
+    /// Wall-clock time inside synthesis-phase solver checks.
+    pub synth_time: Duration,
+    /// Wall-clock time inside verification (encoding + queries).
+    pub verify_time: Duration,
     /// Wall-clock time spent.
     pub wall: Duration,
 }
@@ -215,7 +232,11 @@ pub struct Synthesizer {
 impl Synthesizer {
     /// Creates a synthesizer with default parameters.
     pub fn new(device: DeviceProfile, opts: OptConfig) -> Synthesizer {
-        Synthesizer { device, opts, params: SynthParams::default() }
+        Synthesizer {
+            device,
+            opts,
+            params: SynthParams::default(),
+        }
     }
 
     /// Overrides the run parameters.
@@ -230,7 +251,8 @@ impl Synthesizer {
     ///
     /// See [`SynthError`].
     pub fn synthesize(&self, spec: &ParserSpec) -> Result<SynthOutput, SynthError> {
-        spec.validate().map_err(|e| SynthError::Unsupported(e.to_string()))?;
+        spec.validate()
+            .map_err(|e| SynthError::Unsupported(e.to_string()))?;
         if self.opts.opt7_parallel {
             parallel::synthesize_racing(spec, &self.device, self.opts, &self.params)
         } else {

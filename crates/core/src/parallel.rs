@@ -1,17 +1,21 @@
 //! Opt7: parallel synthesis racing (§6.7).
 //!
 //! For loop-free specifications on single-table devices, a loop-aware and a
-//! loop-free skeleton are raced on separate threads (Fig. 20); the first
-//! verified result wins and the loser is interrupted.  When both complete,
-//! the better one (fewer entries) is kept — this mirrors the paper's
-//! "solve sub-problems on a server pool, halt as soon as one yields a valid
-//! outcome" strategy scaled to one machine with `crossbeam` scoped threads.
+//! loop-free skeleton are raced on separate threads (Fig. 20).  The race is
+//! first-win: the first branch to produce a verified result trips the other
+//! branch's interrupt flag, and the interrupted loser returns its
+//! best-so-far candidate (or a timeout) instead of running to completion —
+//! mirroring the paper's "solve sub-problems on a server pool, halt as soon
+//! as one yields a valid outcome" strategy scaled to one machine with
+//! `std::thread::scope`.  When both branches end up with results (the loser
+//! may already have had one when interrupted), the better one (fewer
+//! entries, then fewer states) is kept.
 
 use crate::cegis::{synthesize_one, LoopMode};
 use crate::{OptConfig, SynthError, SynthOutput, SynthParams};
 use ph_hw::DeviceProfile;
 use ph_ir::{analysis, ParserSpec};
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Synthesizes with Opt7 racing enabled.
@@ -35,35 +39,41 @@ pub fn synthesize_racing(
     // The paper's server pool assigns one core per sub-problem; on a
     // single-core machine racing only multiplies work, so fall back to the
     // loop-free skeleton (the natural fit for a loop-free spec).
-    if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 2 {
+    if std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        < 2
+    {
         return synthesize_one(spec, device, opts, params, LoopMode::LoopFree, None);
     }
 
     let flag_free = Arc::new(AtomicBool::new(false));
     let flag_loopy = Arc::new(AtomicBool::new(false));
 
-    let (free, loopy) = crossbeam::thread::scope(|scope| {
-        let h_free = {
-            let f = flag_free.clone();
-            scope.spawn(move |_| {
-                synthesize_one(spec, device, opts, params, LoopMode::LoopFree, Some(f))
-            })
-        };
-        let h_loopy = {
-            let f = flag_loopy.clone();
-            scope.spawn(move |_| {
-                synthesize_one(spec, device, opts, params, LoopMode::Loopy, Some(f))
-            })
-        };
-        // Join both; each has its own watchdog for the shared wall budget.
-        // (A finer implementation would interrupt the loser on first
-        // success; joining keeps the better of the two results, which is
-        // what the quality numbers in Table 3 report.)
+    // Run one branch per thread; as soon as a branch verifies a result it
+    // trips the other branch's interrupt flag.  The interrupted branch
+    // notices at its next solver conflict / loop check and returns its own
+    // best-so-far (possibly a timeout), so both joins stay cheap.
+    let race = |mode: LoopMode, mine: Arc<AtomicBool>, other: Arc<AtomicBool>| {
+        move || {
+            let r = synthesize_one(spec, device, opts, params, mode, Some(mine));
+            if r.is_ok() {
+                other.store(true, Ordering::Relaxed);
+            }
+            r
+        }
+    };
+    let (free, loopy) = std::thread::scope(|scope| {
+        let h_free = scope.spawn(race(
+            LoopMode::LoopFree,
+            flag_free.clone(),
+            flag_loopy.clone(),
+        ));
+        let h_loopy = scope.spawn(race(LoopMode::Loopy, flag_loopy.clone(), flag_free.clone()));
         let free = h_free.join().expect("loop-free worker panicked");
         let loopy = h_loopy.join().expect("loopy worker panicked");
         (free, loopy)
-    })
-    .expect("crossbeam scope");
+    });
 
     match (free, loopy) {
         (Ok(a), Ok(b)) => {
@@ -77,6 +87,12 @@ pub fn synthesize_racing(
         }
         (Ok(a), Err(_)) => Ok(a),
         (Err(_), Ok(b)) => Ok(b),
-        (Err(a), Err(_)) => Err(a),
+        // Both failed: a Timeout (likely just the interrupted loser) is the
+        // least informative error, so prefer reporting the other kind.
+        (Err(a), Err(b)) => Err(match (&a, &b) {
+            (SynthError::Timeout(_), SynthError::Timeout(_)) => a,
+            (SynthError::Timeout(_), _) => b,
+            _ => a,
+        }),
     }
 }

@@ -61,16 +61,15 @@ pub fn prune_unreachable(prog: &mut TcamProgram) {
 /// True when the state unconditionally forwards: exactly one entry whose
 /// pattern matches every key.
 fn is_trivial(st: &HwState) -> bool {
-    st.entries.len() == 1
-        && st.entries[0].pattern.wildcard_bits() == st.entries[0].pattern.width()
+    st.entries.len() == 1 && st.entries[0].pattern.wildcard_bits() == st.entries[0].pattern.width()
 }
 
 /// Merges trivial states into their predecessors' entries.
 pub fn merge_chains(prog: &mut TcamProgram) {
     loop {
         // Find a trivial, non-start state.
-        let Some(t) = (0..prog.states.len())
-            .find(|&i| i != prog.start.0 && is_trivial(&prog.states[i]))
+        let Some(t) =
+            (0..prog.states.len()).find(|&i| i != prog.start.0 && is_trivial(&prog.states[i]))
         else {
             return;
         };
@@ -105,11 +104,7 @@ pub fn merge_chains(prog: &mut TcamProgram) {
 
 /// Width-aware extraction splitting: entries extracting more than `limit`
 /// bits are split into continuation chains, cutting at field boundaries.
-pub fn split_wide_extractions_with(
-    prog: &mut TcamProgram,
-    fields: &[ph_ir::Field],
-    limit: usize,
-) {
+pub fn split_wide_extractions_with(prog: &mut TcamProgram, fields: &[ph_ir::Field], limit: usize) {
     let mut s = 0;
     while s < prog.states.len() {
         let mut e = 0;
@@ -181,11 +176,20 @@ mod tests {
     }
 
     fn prog(states: Vec<HwState>) -> TcamProgram {
-        TcamProgram { device: DeviceProfile::tofino(), states, start: HwStateId(0) }
+        TcamProgram {
+            device: DeviceProfile::tofino(),
+            states,
+            start: HwStateId(0),
+        }
     }
 
     fn state(name: &str, stage: usize, entries: Vec<HwEntry>) -> HwState {
-        HwState { name: name.into(), stage, key: Vec::new(), entries }
+        HwState {
+            name: name.into(),
+            stage,
+            key: Vec::new(),
+            entries,
+        }
     }
 
     #[test]
@@ -213,8 +217,16 @@ mod tests {
             stage: 0,
             key: Vec::new(),
             entries: vec![
-                HwEntry { pattern: Ternary::any(0), extracts: vec![], next: HwNext::Accept },
-                HwEntry { pattern: Ternary::any(0), extracts: vec![], next: HwNext::Reject },
+                HwEntry {
+                    pattern: Ternary::any(0),
+                    extracts: vec![],
+                    next: HwNext::Accept,
+                },
+                HwEntry {
+                    pattern: Ternary::any(0),
+                    extracts: vec![],
+                    next: HwNext::Reject,
+                },
             ],
         };
         let mut p = prog(vec![

@@ -39,7 +39,10 @@ pub fn reduce_spec(spec: &ParserSpec, opts: OptConfig) -> Result<Reduced, String
     let used = analysis::key_bits_used(spec);
     for (fi, f) in spec.fields.iter().enumerate() {
         if matches!(f.kind, FieldKind::Var(_)) && !used[fi].is_empty() {
-            return Err(format!("field {} is varbit but used in a transition key", f.name));
+            return Err(format!(
+                "field {} is varbit but used in a transition key",
+                f.name
+            ));
         }
     }
 
@@ -65,7 +68,8 @@ pub fn reduce_spec(spec: &ParserSpec, opts: OptConfig) -> Result<Reduced, String
         }
     }
 
-    out.validate().map_err(|e| format!("reduced spec invalid: {e}"))?;
+    out.validate()
+        .map_err(|e| format!("reduced spec invalid: {e}"))?;
     Ok(Reduced { spec: out, shrunk })
 }
 
@@ -93,9 +97,17 @@ mod tests {
                 name: "start".into(),
                 extracts: vec![FieldId(0), FieldId(1), FieldId(2)],
                 key: vec![if keyed_on_varbit {
-                    KeyPart::Slice { field: FieldId(1), start: 0, end: 2 }
+                    KeyPart::Slice {
+                        field: FieldId(1),
+                        start: 0,
+                        end: 2,
+                    }
                 } else {
-                    KeyPart::Slice { field: FieldId(0), start: 0, end: 2 }
+                    KeyPart::Slice {
+                        field: FieldId(0),
+                        start: 0,
+                        end: 2,
+                    }
                 }],
                 transitions: vec![Transition {
                     pattern: ph_bits::Ternary::parse("11").unwrap(),

@@ -200,9 +200,7 @@ pub fn build_shape(
     let mut max_runs_per_state = 0usize;
     for s in analysis::reachable_states(spec) {
         let runs = spec.state(s).extracts.iter().filter(|f| keyed[f.0]).count()
-            + usize::from(
-                spec.state(s).extracts.last().is_some_and(|f| !keyed[f.0]),
-            );
+            + usize::from(spec.state(s).extracts.last().is_some_and(|f| !keyed[f.0]));
         max_runs_per_state = max_runs_per_state.max(runs);
     }
     if loopy {
@@ -220,10 +218,18 @@ pub fn build_shape(
     if opts.opt1_spec_keys {
         for (f, a, b) in analysis::key_bit_groups(spec) {
             if opts.opt5_grouping {
-                groups_src.push(GroupSource::Slice { field: f, start: a, end: b });
+                groups_src.push(GroupSource::Slice {
+                    field: f,
+                    start: a,
+                    end: b,
+                });
             } else {
                 for bit in a..b {
-                    groups_src.push(GroupSource::Slice { field: f, start: bit, end: bit + 1 });
+                    groups_src.push(GroupSource::Slice {
+                        field: f,
+                        start: bit,
+                        end: bit + 1,
+                    });
                 }
             }
         }
@@ -236,7 +242,11 @@ pub fn build_shape(
             }
             seen[f.0] = true;
             for bit in 0..spec.field(f).width {
-                groups_src.push(GroupSource::Slice { field: f, start: bit, end: bit + 1 });
+                groups_src.push(GroupSource::Slice {
+                    field: f,
+                    start: bit,
+                    end: bit + 1,
+                });
             }
         }
     }
@@ -265,7 +275,10 @@ pub fn build_shape(
             groups_src.push(GroupSource::Lookahead { start: a, end: b });
         } else {
             for bit in a..b {
-                groups_src.push(GroupSource::Lookahead { start: bit, end: bit + 1 });
+                groups_src.push(GroupSource::Lookahead {
+                    start: bit,
+                    end: bit + 1,
+                });
             }
         }
     }
@@ -286,10 +299,18 @@ pub fn build_shape(
         while lo < b {
             let hi = (lo + chunk_limit).min(b);
             let part = match src {
-                GroupSource::Slice { field, .. } => GroupSource::Slice { field, start: lo, end: hi },
+                GroupSource::Slice { field, .. } => GroupSource::Slice {
+                    field,
+                    start: lo,
+                    end: hi,
+                },
                 GroupSource::Lookahead { .. } => GroupSource::Lookahead { start: lo, end: hi },
             };
-            groups.push(Group { source: part, offset, width: hi - lo });
+            groups.push(Group {
+                source: part,
+                offset,
+                width: hi - lo,
+            });
             offset += hi - lo;
             lo = hi;
         }
@@ -297,7 +318,12 @@ pub fn build_shape(
     let canon_width = offset.max(1);
 
     // Entry budget per state.
-    let max_t = spec.states.iter().map(|s| s.transitions.len()).max().unwrap_or(0);
+    let max_t = spec
+        .states
+        .iter()
+        .map(|s| s.transitions.len())
+        .max()
+        .unwrap_or(0);
     let entries_per_state = (max_t + 2).clamp(2, 12);
 
     // Spare states for key splitting: splitting a wide key over `c` chunks
@@ -371,7 +397,11 @@ fn project_pattern(
             let place = groups.iter().find_map(|g| match (*kp, g.source) {
                 (
                     KeyPart::Slice { field, start, .. },
-                    GroupSource::Slice { field: gf, start: gs, end: ge },
+                    GroupSource::Slice {
+                        field: gf,
+                        start: gs,
+                        end: ge,
+                    },
                 ) if field == gf && start + i >= gs && start + i < ge => {
                     Some(g.offset + (start + i - gs))
                 }
@@ -431,8 +461,7 @@ fn candidate_sets(
     }
 
     // Agreement masks per (state, target) cluster and per pair.
-    let mut keys: Vec<(usize, NextState)> =
-        singles.iter().map(|(_, _, s, n)| (*s, *n)).collect();
+    let mut keys: Vec<(usize, NextState)> = singles.iter().map(|(_, _, s, n)| (*s, *n)).collect();
     keys.sort_by_key(|(s, n)| (*s, format!("{n:?}")));
     keys.dedup();
     for (s, n) in keys {
@@ -461,8 +490,10 @@ fn candidate_sets(
     }
 
     // Pairwise cross-state combinations with disjoint footprints.
-    let snapshot: Vec<(BitString, BitString, usize)> =
-        singles.iter().map(|(v, m, s, _)| (v.clone(), m.clone(), *s)).collect();
+    let snapshot: Vec<(BitString, BitString, usize)> = singles
+        .iter()
+        .map(|(v, m, s, _)| (v.clone(), m.clone(), *s))
+        .collect();
     for i in 0..snapshot.len() {
         for j in (i + 1)..snapshot.len() {
             let (va, ma, sa) = &snapshot[i];
@@ -496,6 +527,7 @@ fn candidate_sets(
 
 /// Creates the solver variables for `shape` and asserts the structural /
 /// device constraints (φ_tofino or φ_IPU of Figs. 10–11).
+#[allow(clippy::needless_range_loop)] // index-driven encodings name terms by (s, j)
 pub fn build_vars(smt: &mut Smt, shape: &Shape, device: &DeviceProfile) -> SkelVars {
     let s_count = shape.state_count();
     let n_slots = shape.slots.len();
@@ -507,8 +539,9 @@ pub fn build_vars(smt: &mut Smt, shape: &Shape, device: &DeviceProfile) -> SkelV
     // Allocation variables.
     let mut alloc = Vec::with_capacity(s_count);
     for s in 0..s_count {
-        let row: Vec<Term> =
-            (0..shape.groups.len()).map(|g| smt.var(&format!("alloc_{s}_{g}"), 1)).collect();
+        let row: Vec<Term> = (0..shape.groups.len())
+            .map(|g| smt.var(&format!("alloc_{s}_{g}"), 1))
+            .collect();
         space += row.len();
         alloc.push(row);
     }
@@ -530,26 +563,23 @@ pub fn build_vars(smt: &mut Smt, shape: &Shape, device: &DeviceProfile) -> SkelV
 
     // Entry variables.  Under Opt4 both value and mask come from candidate
     // muxes; otherwise they are free bit-vectors.
-    let candidate_mux = |smt: &mut Smt,
-                             list: &[BitString],
-                             name: String,
-                             space: &mut usize|
-     -> Term {
-        let vb = bits_for(list.len().saturating_sub(1) as u64).max(1);
-        let sel = smt.var(&name, vb);
-        *space += vb as usize;
-        let lim = smt.const_u64(list.len() as u64 - 1, vb);
-        let in_range = smt.ule(sel, lim);
-        smt.assert(in_range);
-        let mut v = smt.const_bits(list[0].clone());
-        for (ci, c) in list.iter().enumerate().skip(1) {
-            let ci_t = smt.const_u64(ci as u64, vb);
-            let is = smt.eq(sel, ci_t);
-            let cv = smt.const_bits(c.clone());
-            v = smt.ite(is, cv, v);
-        }
-        v
-    };
+    let candidate_mux =
+        |smt: &mut Smt, list: &[BitString], name: String, space: &mut usize| -> Term {
+            let vb = bits_for(list.len().saturating_sub(1) as u64).max(1);
+            let sel = smt.var(&name, vb);
+            *space += vb as usize;
+            let lim = smt.const_u64(list.len() as u64 - 1, vb);
+            let in_range = smt.ule(sel, lim);
+            smt.assert(in_range);
+            let mut v = smt.const_bits(list[0].clone());
+            for (ci, c) in list.iter().enumerate().skip(1) {
+                let ci_t = smt.const_u64(ci as u64, vb);
+                let is = smt.eq(sel, ci_t);
+                let cv = smt.const_bits(c.clone());
+                v = smt.ite(is, cv, v);
+            }
+            v
+        };
     let mut entries = Vec::with_capacity(s_count);
     let mut all_actives = Vec::new();
     for s in 0..s_count {
@@ -600,7 +630,12 @@ pub fn build_vars(smt: &mut Smt, shape: &Shape, device: &DeviceProfile) -> SkelV
             }
 
             all_actives.push(active);
-            row.push(EntryTerms { active, value, mask, next });
+            row.push(EntryTerms {
+                active,
+                value,
+                mask,
+                next,
+            });
         }
         // Active entries form a prefix.
         for j in 1..e_per {
@@ -613,7 +648,9 @@ pub fn build_vars(smt: &mut Smt, shape: &Shape, device: &DeviceProfile) -> SkelV
     // Loop-free ordering: symbolic ranks, strictly increasing along edges.
     if !shape.loopy {
         let rbits = bits_for(s_count as u64).max(1);
-        let ranks: Vec<Term> = (0..s_count).map(|s| smt.var(&format!("rank_{s}"), rbits)).collect();
+        let ranks: Vec<Term> = (0..s_count)
+            .map(|s| smt.var(&format!("rank_{s}"), rbits))
+            .collect();
         space += s_count * rbits as usize;
         for s in 0..s_count {
             for j in 0..e_per {
@@ -671,8 +708,9 @@ pub fn build_vars(smt: &mut Smt, shape: &Shape, device: &DeviceProfile) -> SkelV
             // domain keeps the cardinality constraints cheap.
             let eff_limit = device.stage_limit.min(s_count);
             let stb = bits_for(eff_limit.saturating_sub(1) as u64).max(1);
-            let stages: Vec<Term> =
-                (0..s_count).map(|s| smt.var(&format!("stage_{s}"), stb)).collect();
+            let stages: Vec<Term> = (0..s_count)
+                .map(|s| smt.var(&format!("stage_{s}"), stb))
+                .collect();
             space += s_count * stb as usize;
             for s in 0..s_count {
                 let lim = smt.const_u64(eff_limit as u64 - 1, stb);
@@ -711,7 +749,11 @@ pub fn build_vars(smt: &mut Smt, shape: &Shape, device: &DeviceProfile) -> SkelV
     }
 
     SkelVars {
-        terms: SkelTerms { alloc, entries, ext_sel },
+        terms: SkelTerms {
+            alloc,
+            entries,
+            ext_sel,
+        },
         stage,
         active_count: actives_count,
         count_bits,
@@ -774,10 +816,99 @@ pub fn extract_model(smt: &mut Smt, shape: &Shape, vars: &SkelVars) -> ConcreteS
             None => 0,
         });
     }
-    ConcreteSkel { alloc, entries, ext, stage }
+    ConcreteSkel {
+        alloc,
+        entries,
+        ext,
+        stage,
+    }
 }
 
-/// Re-encodes a concrete skeleton as constant terms (for verification).
+/// Creates *free* (unconstrained) skeleton variables for the persistent
+/// incremental verifier: the same term layout as [`build_vars`] produces,
+/// but with no structural or device constraints asserted.  Each candidate
+/// is pinned to these variables with the equality assumptions from
+/// [`pin_candidate`], so one solver instance serves every verification
+/// query of a synthesis run.
+pub fn build_verifier_terms(smt: &mut Smt, shape: &Shape) -> SkelTerms {
+    let s_count = shape.state_count();
+    let e_per = shape.entries_per_state;
+    let kw = shape.canon_width as u32;
+    let sbits = shape.state_bits();
+    let ebits = shape.ext_bits();
+    let mut alloc = Vec::with_capacity(s_count);
+    let mut entries = Vec::with_capacity(s_count);
+    let mut ext_sel = Vec::with_capacity(s_count);
+    for s in 0..s_count {
+        alloc.push(
+            (0..shape.groups.len())
+                .map(|g| smt.var(&format!("v_alloc_{s}_{g}"), 1))
+                .collect::<Vec<Term>>(),
+        );
+        let row = (0..e_per)
+            .map(|j| EntryTerms {
+                active: smt.var(&format!("v_act_{s}_{j}"), 1),
+                value: smt.var(&format!("v_val_{s}_{j}"), kw),
+                mask: smt.var(&format!("v_mask_{s}_{j}"), kw),
+                next: smt.var(&format!("v_next_{s}_{j}"), sbits),
+            })
+            .collect::<Vec<EntryTerms>>();
+        entries.push(row);
+        ext_sel.push(smt.var(&format!("v_ext_{s}"), ebits));
+    }
+    SkelTerms {
+        alloc,
+        entries,
+        ext_sel,
+    }
+}
+
+/// Equality assumptions pinning [`build_verifier_terms`] variables to a
+/// concrete candidate.  Entries beyond the candidate's active prefix are
+/// pinned inactive only — their value/mask/next stay unconstrained, which
+/// is sound because the simulation encoding gates all matching on
+/// `active`.  Stages are not pinned: they never enter the simulation
+/// semantics.
+pub fn pin_candidate(
+    smt: &mut Smt,
+    shape: &Shape,
+    terms: &SkelTerms,
+    conc: &ConcreteSkel,
+) -> Vec<Term> {
+    let sbits = shape.state_bits();
+    let ebits = shape.ext_bits();
+    let mut pins = Vec::new();
+    for s in 0..shape.state_count() {
+        for (g, &b) in conc.alloc[s].iter().enumerate() {
+            let c = smt.const_u64(b as u64, 1);
+            pins.push(smt.eq(terms.alloc[s][g], c));
+        }
+        for (j, et) in terms.entries[s].iter().enumerate() {
+            match conc.entries[s].get(j) {
+                Some(e) => {
+                    let one = smt.const_u64(1, 1);
+                    pins.push(smt.eq(et.active, one));
+                    let v = smt.const_bits(e.value.clone());
+                    pins.push(smt.eq(et.value, v));
+                    let m = smt.const_bits(e.mask.clone());
+                    pins.push(smt.eq(et.mask, m));
+                    let n = smt.const_u64(e.next as u64, sbits);
+                    pins.push(smt.eq(et.next, n));
+                }
+                None => {
+                    let zero = smt.const_u64(0, 1);
+                    pins.push(smt.eq(et.active, zero));
+                }
+            }
+        }
+        let e = smt.const_u64(conc.ext[s] as u64, ebits);
+        pins.push(smt.eq(terms.ext_sel[s], e));
+    }
+    pins
+}
+
+/// Re-encodes a concrete skeleton as constant terms (for the fresh-solver
+/// verification path kept for differential testing and benchmarking).
 pub fn concrete_terms(smt: &mut Smt, shape: &Shape, conc: &ConcreteSkel) -> SkelTerms {
     let sbits = shape.state_bits();
     let ebits = shape.ext_bits();
@@ -803,7 +934,11 @@ pub fn concrete_terms(smt: &mut Smt, shape: &Shape, conc: &ConcreteSkel) -> Skel
         entries.push(row);
         ext_sel.push(smt.const_u64(conc.ext[s] as u64, ebits));
     }
-    SkelTerms { alloc, entries, ext_sel }
+    SkelTerms {
+        alloc,
+        entries,
+        ext_sel,
+    }
 }
 
 /// Total active entries in a concrete skeleton.
@@ -819,11 +954,7 @@ pub fn stages_used(conc: &ConcreteSkel) -> usize {
 /// Converts a concrete skeleton into a [`TcamProgram`] over the *original*
 /// field table (widths/varbit restored by construction — entries reference
 /// field ids only).
-pub fn to_program(
-    shape: &Shape,
-    conc: &ConcreteSkel,
-    device: &DeviceProfile,
-) -> TcamProgram {
+pub fn to_program(shape: &Shape, conc: &ConcreteSkel, device: &DeviceProfile) -> TcamProgram {
     let s_count = shape.state_count();
     let acc = shape.accept_code();
     let rej = shape.reject_code();
@@ -881,9 +1012,18 @@ pub fn to_program(
         } else {
             format!("spare{}", s - shape.slots.len())
         };
-        states.push(HwState { name, stage: conc.stage[s], key, entries });
+        states.push(HwState {
+            name,
+            stage: conc.stage[s],
+            key,
+            entries,
+        });
     }
-    TcamProgram { device: device.clone(), states, start: HwStateId(0) }
+    TcamProgram {
+        device: device.clone(),
+        states,
+        start: HwStateId(0),
+    }
 }
 
 #[cfg(test)]
@@ -915,8 +1055,14 @@ mod tests {
     #[test]
     fn shape_counts() {
         let red = reduce_spec(&eth_spec(), OptConfig::all()).unwrap();
-        let shape =
-            build_shape(&red, &DeviceProfile::tofino(), OptConfig::all(), false, None).unwrap();
+        let shape = build_shape(
+            &red,
+            &DeviceProfile::tofino(),
+            OptConfig::all(),
+            false,
+            None,
+        )
+        .unwrap();
         // Slots: the [pad, ty] run (split after the keyed ty) and [a.v].
         assert_eq!(shape.slots.len(), 2);
         assert_eq!(shape.slots[0].len(), 2);
@@ -959,7 +1105,11 @@ mod tests {
             let shape = build_shape(&red, &dev, OptConfig::all(), false, None).unwrap();
             let mut smt = Smt::new();
             let vars = build_vars(&mut smt, &shape, &dev);
-            assert!(smt.check().is_sat(), "structural constraints unsat for {}", dev.name);
+            assert!(
+                smt.check().is_sat(),
+                "structural constraints unsat for {}",
+                dev.name
+            );
             let conc = extract_model(&mut smt, &shape, &vars);
             assert_eq!(conc.entries.len(), shape.state_count());
         }

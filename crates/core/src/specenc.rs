@@ -52,7 +52,9 @@ pub fn encode_spec_paths(
     let mut out = Vec::new();
     let tt = smt.tt();
     let dict = vec![None; spec.fields.len()];
-    walk(smt, spec, input, l, spec.start, 0, tt, dict, max_depth, max_paths, &mut out)?;
+    walk(
+        smt, spec, input, l, spec.start, 0, tt, dict, max_depth, max_paths, &mut out,
+    )?;
     Ok(out)
 }
 
@@ -85,7 +87,11 @@ fn walk(
     for &f in &st.extracts {
         let w = spec.field(f).width;
         if pos + w > l {
-            out.push(SpecPath { cond, status: PathStatus::OutOfInput, dict });
+            out.push(SpecPath {
+                cond,
+                status: PathStatus::OutOfInput,
+                dict,
+            });
             return Ok(());
         }
         dict[f.0] = Some((pos, w));
@@ -93,15 +99,27 @@ fn walk(
     }
 
     // Branching.
-    let finish = |smt: &mut Smt, cond: Term, next: NextState, dict: Vec<Option<(usize, usize)>>, out: &mut Vec<SpecPath>|
+    let finish = |smt: &mut Smt,
+                  cond: Term,
+                  next: NextState,
+                  dict: Vec<Option<(usize, usize)>>,
+                  out: &mut Vec<SpecPath>|
      -> Result<(), String> {
         match next {
             NextState::Accept => {
-                out.push(SpecPath { cond, status: PathStatus::Accept, dict });
+                out.push(SpecPath {
+                    cond,
+                    status: PathStatus::Accept,
+                    dict,
+                });
                 Ok(())
             }
             NextState::Reject => {
-                out.push(SpecPath { cond, status: PathStatus::Reject, dict });
+                out.push(SpecPath {
+                    cond,
+                    status: PathStatus::Reject,
+                    dict,
+                });
                 Ok(())
             }
             NextState::State(t) => walk(
@@ -251,7 +269,13 @@ mod tests {
         let paths = encode_spec_paths(&mut smt, &spec, input, 4, 64).unwrap();
         // rule 0b01 -> s1 -> accept; rule 0b1* -> reject; default -> accept.
         assert_eq!(paths.len(), 3);
-        assert_eq!(paths.iter().filter(|p| p.status == PathStatus::Accept).count(), 2);
+        assert_eq!(
+            paths
+                .iter()
+                .filter(|p| p.status == PathStatus::Accept)
+                .count(),
+            2
+        );
     }
 
     /// The paths' conditions must partition the input space consistently

@@ -6,10 +6,9 @@
 //! the first disagreement.  This is an independent end-to-end check of the
 //! whole pipeline: reduction, synthesis, verification and post-processing.
 
-use ph_bits::BitString;
+use ph_bits::{BitString, Rng};
 use ph_hw::{run_program, TcamProgram};
 use ph_ir::{analysis, simulate, ParseStatus, ParserSpec};
-use rand::{Rng, SeedableRng};
 
 /// Compares spec and program on `samples` sampled inputs.
 ///
@@ -22,7 +21,7 @@ pub fn check_program_against_spec(
     seed: u64,
     samples: usize,
 ) -> Result<(), String> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xf1622);
+    let mut rng = Rng::seed_from_u64(seed ^ 0xf1622);
     let iters = 64usize;
     let full = analysis::max_bits_consumed(spec, iters.min(24)).max(1);
 
@@ -38,7 +37,7 @@ pub fn check_program_against_spec(
         let len = match round % 4 {
             0 | 1 => full,
             2 => rng.gen_range(0..=full),
-            _ => full + rng.gen_range(0..=16),
+            _ => full + rng.gen_range(0..=16usize),
         };
         let mut input = BitString::zeros(len);
         for i in 0..len {

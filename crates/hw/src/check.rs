@@ -77,29 +77,62 @@ pub enum Violation {
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            Violation::WideTranKey { state, width, limit } => {
-                write!(f, "Wide tran key: state {state} key {width}b > limit {limit}b")
+            Violation::WideTranKey {
+                state,
+                width,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "Wide tran key: state {state} key {width}b > limit {limit}b"
+                )
             }
-            Violation::TooManyTcam { used, limit, stage: Some(s) } => {
+            Violation::TooManyTcam {
+                used,
+                limit,
+                stage: Some(s),
+            } => {
                 write!(f, "Too many TCAM: stage {s} uses {used} > {limit}")
             }
-            Violation::TooManyTcam { used, limit, stage: None } => {
+            Violation::TooManyTcam {
+                used,
+                limit,
+                stage: None,
+            } => {
                 write!(f, "Too many TCAM: {used} > {limit}")
             }
             Violation::TooManyStages { used, limit } => {
                 write!(f, "Too many stages: {used} > {limit}")
             }
-            Violation::LookaheadTooFar { state, needed, limit } => {
-                write!(f, "Lookahead too far: state {state} needs {needed}b > {limit}b")
+            Violation::LookaheadTooFar {
+                state,
+                needed,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "Lookahead too far: state {state} needs {needed}b > {limit}b"
+                )
             }
-            Violation::ExtractionTooWide { state, entry, bits, limit } => {
-                write!(f, "Extraction too wide: state {state} entry {entry} {bits}b > {limit}b")
+            Violation::ExtractionTooWide {
+                state,
+                entry,
+                bits,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "Extraction too wide: state {state} entry {entry} {bits}b > {limit}b"
+                )
             }
             Violation::ParserLoopRejected { state } => {
                 write!(f, "Parser loop rej: state {state} is on a cycle")
             }
             Violation::BackwardStageTransition { from, to } => {
-                write!(f, "Conflict transition: state {from} -> {to} does not advance stages")
+                write!(
+                    f,
+                    "Conflict transition: state {from} -> {to} does not advance stages"
+                )
             }
         }
     }
@@ -116,7 +149,11 @@ pub fn check_program(program: &TcamProgram, fields: &[Field]) -> Vec<Violation> 
     for (si, st) in program.states.iter().enumerate() {
         let kw = st.key_width();
         if kw > device.key_limit {
-            out.push(Violation::WideTranKey { state: si, width: kw, limit: device.key_limit });
+            out.push(Violation::WideTranKey {
+                state: si,
+                width: kw,
+                limit: device.key_limit,
+            });
         }
         let look = st
             .key
@@ -152,7 +189,11 @@ pub fn check_program(program: &TcamProgram, fields: &[Field]) -> Vec<Violation> 
         Arch::SingleTable => {
             let used = program.entry_count();
             if used > device.tcam_limit {
-                out.push(Violation::TooManyTcam { used, limit: device.tcam_limit, stage: None });
+                out.push(Violation::TooManyTcam {
+                    used,
+                    limit: device.tcam_limit,
+                    stage: None,
+                });
             }
         }
         Arch::Pipelined | Arch::Interleaved => {
@@ -177,7 +218,10 @@ pub fn check_program(program: &TcamProgram, fields: &[Field]) -> Vec<Violation> 
     // Stage budget.
     let stages = program.stages_used();
     if stages > device.stage_limit {
-        out.push(Violation::TooManyStages { used: stages, limit: device.stage_limit });
+        out.push(Violation::TooManyStages {
+            used: stages,
+            limit: device.stage_limit,
+        });
     }
 
     // Loop / stage-monotonicity rules for pipelined devices.
@@ -221,7 +265,11 @@ mod tests {
             key: if key_bits == 0 {
                 vec![]
             } else {
-                vec![KeyPart::Slice { field: FieldId(0), start: 0, end: key_bits }]
+                vec![KeyPart::Slice {
+                    field: FieldId(0),
+                    start: 0,
+                    end: key_bits,
+                }]
             },
             entries,
         }
@@ -231,11 +279,7 @@ mod tests {
     fn clean_program_passes() {
         let p = TcamProgram {
             device: DeviceProfile::tofino(),
-            states: vec![state(
-                0,
-                4,
-                vec![HwEntry::catch_all(4, HwNext::Accept)],
-            )],
+            states: vec![state(0, 4, vec![HwEntry::catch_all(4, HwNext::Accept)])],
             start: HwStateId(0),
         };
         assert!(check_program(&p, &fields()).is_empty());
@@ -249,22 +293,35 @@ mod tests {
             start: HwStateId(0),
         };
         let vs = check_program(&p, &fields());
-        assert!(vs.iter().any(|v| matches!(v, Violation::WideTranKey { width: 4, limit: 2, .. })));
+        assert!(vs.iter().any(|v| matches!(
+            v,
+            Violation::WideTranKey {
+                width: 4,
+                limit: 2,
+                ..
+            }
+        )));
     }
 
     #[test]
     fn entry_budget_single_table() {
-        let entries: Vec<HwEntry> =
-            (0..5).map(|_| HwEntry::catch_all(4, HwNext::Accept)).collect();
+        let entries: Vec<HwEntry> = (0..5)
+            .map(|_| HwEntry::catch_all(4, HwNext::Accept))
+            .collect();
         let p = TcamProgram {
             device: DeviceProfile::tofino().with_tcam_limit(3),
             states: vec![state(0, 4, entries)],
             start: HwStateId(0),
         };
         let vs = check_program(&p, &fields());
-        assert!(vs
-            .iter()
-            .any(|v| matches!(v, Violation::TooManyTcam { used: 5, limit: 3, stage: None })));
+        assert!(vs.iter().any(|v| matches!(
+            v,
+            Violation::TooManyTcam {
+                used: 5,
+                limit: 3,
+                stage: None
+            }
+        )));
     }
 
     #[test]
@@ -285,9 +342,14 @@ mod tests {
             start: HwStateId(0),
         };
         let vs = check_program(&p, &fields());
-        assert!(vs
-            .iter()
-            .any(|v| matches!(v, Violation::TooManyTcam { used: 2, limit: 1, stage: Some(0) })));
+        assert!(vs.iter().any(|v| matches!(
+            v,
+            Violation::TooManyTcam {
+                used: 2,
+                limit: 1,
+                stage: Some(0)
+            }
+        )));
     }
 
     #[test]
@@ -306,7 +368,9 @@ mod tests {
             start: HwStateId(0),
         };
         let vs = check_program(&p, &fields());
-        assert!(vs.iter().any(|v| matches!(v, Violation::ParserLoopRejected { state: 0 })));
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::ParserLoopRejected { state: 0 })));
     }
 
     #[test]
@@ -314,11 +378,15 @@ mod tests {
         let p = TcamProgram {
             device: DeviceProfile::ipu(),
             states: vec![
-                state(1, 0, vec![HwEntry {
-                    pattern: Ternary::any(0),
-                    extracts: vec![],
-                    next: HwNext::State(HwStateId(1)),
-                }]),
+                state(
+                    1,
+                    0,
+                    vec![HwEntry {
+                        pattern: Ternary::any(0),
+                        extracts: vec![],
+                        next: HwNext::State(HwStateId(1)),
+                    }],
+                ),
                 state(0, 0, vec![HwEntry::catch_all(0, HwNext::Accept)]),
             ],
             start: HwStateId(0),
@@ -334,13 +402,19 @@ mod tests {
         let p = TcamProgram {
             device: DeviceProfile::ipu().with_stage_limit(1),
             states: vec![
-                state(0, 0, vec![HwEntry::catch_all(0, HwNext::State(HwStateId(1)))]),
+                state(
+                    0,
+                    0,
+                    vec![HwEntry::catch_all(0, HwNext::State(HwStateId(1)))],
+                ),
                 state(1, 0, vec![HwEntry::catch_all(0, HwNext::Accept)]),
             ],
             start: HwStateId(0),
         };
         let vs = check_program(&p, &fields());
-        assert!(vs.iter().any(|v| matches!(v, Violation::TooManyStages { used: 2, limit: 1 })));
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::TooManyStages { used: 2, limit: 1 })));
     }
 
     #[test]

@@ -5,10 +5,8 @@
 //! numeric limits below are model parameters chosen to match the published
 //! architecture descriptions; see EXPERIMENTS.md for the mapping.
 
-use serde::{Deserialize, Serialize};
-
 /// The architectural shape of a parser (§3.1, Fig. 2).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Arch {
     /// One TCAM table the FSM may revisit arbitrarily (Tofino).  Entries can
     /// loop back, so one entry can strip repeated headers (e.g. MPLS).
@@ -25,7 +23,7 @@ pub enum Arch {
 }
 
 /// Hardware resource constraints for one target device (§5.1.2).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct DeviceProfile {
     /// Human-readable device name.
     pub name: String,
@@ -87,7 +85,11 @@ impl DeviceProfile {
 
     /// A fully parameterized profile for the Table 4 experiments
     /// (DPParserGen comparison under varying hardware resources).
-    pub fn parameterized(key_limit: usize, lookahead_limit: usize, extraction_limit: usize) -> DeviceProfile {
+    pub fn parameterized(
+        key_limit: usize,
+        lookahead_limit: usize,
+        extraction_limit: usize,
+    ) -> DeviceProfile {
         DeviceProfile {
             name: format!("param-k{key_limit}-l{lookahead_limit}-e{extraction_limit}"),
             arch: Arch::SingleTable,
@@ -107,17 +109,27 @@ impl DeviceProfile {
     /// Returns a copy with a different key limit (used by Opt7.2's
     /// constraint-tightening subproblems).
     pub fn with_key_limit(&self, key_limit: usize) -> DeviceProfile {
-        DeviceProfile { key_limit, name: format!("{}-k{key_limit}", self.name), ..self.clone() }
+        DeviceProfile {
+            key_limit,
+            name: format!("{}-k{key_limit}", self.name),
+            ..self.clone()
+        }
     }
 
     /// Returns a copy with a different TCAM entry budget.
     pub fn with_tcam_limit(&self, tcam_limit: usize) -> DeviceProfile {
-        DeviceProfile { tcam_limit, ..self.clone() }
+        DeviceProfile {
+            tcam_limit,
+            ..self.clone()
+        }
     }
 
     /// Returns a copy with a different stage budget.
     pub fn with_stage_limit(&self, stage_limit: usize) -> DeviceProfile {
-        DeviceProfile { stage_limit, ..self.clone() }
+        DeviceProfile {
+            stage_limit,
+            ..self.clone()
+        }
     }
 }
 

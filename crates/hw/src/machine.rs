@@ -42,7 +42,11 @@ pub fn run_program(
                 },
                 KeyPart::Lookahead { start, end } => {
                     for i in start..end {
-                        let bit = if pos + i < input.len() { input.get(pos + i) } else { false };
+                        let bit = if pos + i < input.len() {
+                            input.get(pos + i)
+                        } else {
+                            false
+                        };
                         key.push(bit);
                     }
                 }
@@ -51,7 +55,12 @@ pub fn run_program(
 
         // First matching entry wins; no match = hardware reject.
         let Some(entry) = st.entries.iter().find(|e| e.pattern.matches(&key)) else {
-            return SimResult { status: ParseStatus::Reject, dict, path, consumed: pos };
+            return SimResult {
+                status: ParseStatus::Reject,
+                dict,
+                path,
+                consumed: pos,
+            };
         };
 
         // Extraction phase.
@@ -65,7 +74,12 @@ pub fn run_program(
                 }
             };
             if pos + take > input.len() {
-                return SimResult { status: ParseStatus::OutOfInput, dict, path, consumed: pos };
+                return SimResult {
+                    status: ParseStatus::OutOfInput,
+                    dict,
+                    path,
+                    consumed: pos,
+                };
             }
             let raw = input.slice(pos, pos + take);
             pos += take;
@@ -79,15 +93,30 @@ pub fn run_program(
 
         match entry.next {
             HwNext::Accept => {
-                return SimResult { status: ParseStatus::Accept, dict, path, consumed: pos }
+                return SimResult {
+                    status: ParseStatus::Accept,
+                    dict,
+                    path,
+                    consumed: pos,
+                }
             }
             HwNext::Reject => {
-                return SimResult { status: ParseStatus::Reject, dict, path, consumed: pos }
+                return SimResult {
+                    status: ParseStatus::Reject,
+                    dict,
+                    path,
+                    consumed: pos,
+                }
             }
             HwNext::State(s) => current = s,
         }
     }
-    SimResult { status: ParseStatus::IterationBudget, dict, path, consumed: pos }
+    SimResult {
+        status: ParseStatus::IterationBudget,
+        dict,
+        path,
+        consumed: pos,
+    }
 }
 
 #[cfg(test)]
@@ -117,7 +146,11 @@ mod tests {
                 HwState {
                     name: "sid1".into(),
                     stage: 0,
-                    key: vec![KeyPart::Slice { field: FieldId(0), start: 0, end: 1 }],
+                    key: vec![KeyPart::Slice {
+                        field: FieldId(0),
+                        start: 0,
+                        end: 1,
+                    }],
                     entries: vec![
                         HwEntry {
                             pattern: Ternary::parse("0").unwrap(),
@@ -164,8 +197,11 @@ mod tests {
         // Single state: extract a 4-bit label; loop while its first bit is 1
         // (the MPLS bottom-of-stack idiom), accept otherwise.  Demonstrates
         // the single-TCAM-table loop capability of §3.1.
-        let fields =
-            vec![Field::fixed("l0", 4), Field::fixed("l1", 4), Field::fixed("l2", 4)];
+        let fields = vec![
+            Field::fixed("l0", 4),
+            Field::fixed("l1", 4),
+            Field::fixed("l2", 4),
+        ];
         // Using lookahead to decide which label slot to fill is beyond this
         // toy; instead chain 3 states with loop-back on the last.
         let program = TcamProgram {

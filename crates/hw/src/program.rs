@@ -1,17 +1,16 @@
 //! The compiled artifact: a TCAM program (the `Impl` rows of §4/Table 1).
 
 use crate::device::DeviceProfile;
-use ph_ir::{FieldId, KeyPart};
 use ph_bits::Ternary;
-use serde::{Deserialize, Serialize};
+use ph_ir::{FieldId, KeyPart};
 use std::fmt;
 
 /// Index of a hardware parser state within a [`TcamProgram`].
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct HwStateId(pub usize);
 
 /// Where a TCAM entry transitions.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum HwNext {
     /// Another hardware state.
     State(HwStateId),
@@ -23,7 +22,7 @@ pub enum HwNext {
 
 /// One TCAM row: a ternary condition over the owning state's key, the
 /// fields it extracts (in cursor order) and the transition target.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct HwEntry {
     /// The match pattern; width equals the owning state's key width
     /// (zero-width keys use a zero-width pattern that always matches).
@@ -37,13 +36,17 @@ pub struct HwEntry {
 impl HwEntry {
     /// A catch-all entry (all-wildcard pattern).
     pub fn catch_all(key_width: usize, next: HwNext) -> HwEntry {
-        HwEntry { pattern: Ternary::any(key_width), extracts: Vec::new(), next }
+        HwEntry {
+            pattern: Ternary::any(key_width),
+            extracts: Vec::new(),
+            next,
+        }
     }
 }
 
 /// A hardware parser state: its stage, transition-key definition, and
 /// prioritized TCAM entries (first match wins).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct HwState {
     /// Display name for generated configs.
     pub name: String,
@@ -70,7 +73,7 @@ impl HwState {
 ///
 /// Field identifiers refer to the *specification's* field table, so spec and
 /// implementation dictionaries are directly comparable.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct TcamProgram {
     /// The device this program was compiled for.
     pub device: DeviceProfile,
@@ -81,7 +84,7 @@ pub struct TcamProgram {
 }
 
 /// Resource usage summary (the numbers reported in Tables 3 and 4).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct ResourceUsage {
     /// Total TCAM entries across all states.
     pub tcam_entries: usize,
@@ -101,11 +104,7 @@ impl TcamProgram {
 
     /// Number of distinct stages used.
     pub fn stages_used(&self) -> usize {
-        self.states
-            .iter()
-            .map(|s| s.stage + 1)
-            .max()
-            .unwrap_or(0)
+        self.states.iter().map(|s| s.stage + 1).max().unwrap_or(0)
     }
 
     /// Resource usage summary.
@@ -114,7 +113,12 @@ impl TcamProgram {
             tcam_entries: self.entry_count(),
             stages: self.stages_used(),
             states: self.states.len(),
-            max_key_width: self.states.iter().map(HwState::key_width).max().unwrap_or(0),
+            max_key_width: self
+                .states
+                .iter()
+                .map(HwState::key_width)
+                .max()
+                .unwrap_or(0),
         }
     }
 
@@ -126,9 +130,19 @@ impl TcamProgram {
 
 impl fmt::Display for TcamProgram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "TcamProgram for {} (start {})", self.device.name, self.start.0)?;
+        writeln!(
+            f,
+            "TcamProgram for {} (start {})",
+            self.device.name, self.start.0
+        )?;
         for (si, st) in self.states.iter().enumerate() {
-            writeln!(f, "  state {si} [{}] stage {} key_width {}", st.name, st.stage, st.key_width())?;
+            writeln!(
+                f,
+                "  state {si} [{}] stage {} key_width {}",
+                st.name,
+                st.stage,
+                st.key_width()
+            )?;
             for (ei, e) in st.entries.iter().enumerate() {
                 let next = match e.next {
                     HwNext::State(s) => format!("-> {}", s.0),
@@ -138,7 +152,11 @@ impl fmt::Display for TcamProgram {
                 writeln!(
                     f,
                     "    entry {ei}: {} extract {:?} {next}",
-                    if e.pattern.width() == 0 { "<always>".to_string() } else { e.pattern.to_string() },
+                    if e.pattern.width() == 0 {
+                        "<always>".to_string()
+                    } else {
+                        e.pattern.to_string()
+                    },
                     e.extracts.iter().map(|x| x.0).collect::<Vec<_>>()
                 )?;
             }
@@ -168,7 +186,11 @@ mod tests {
                 HwState {
                     name: "s1".into(),
                     stage: 0,
-                    key: vec![KeyPart::Slice { field: FieldId(0), start: 0, end: 1 }],
+                    key: vec![KeyPart::Slice {
+                        field: FieldId(0),
+                        start: 0,
+                        end: 1,
+                    }],
                     entries: vec![
                         HwEntry {
                             pattern: Ternary::parse("0").unwrap(),

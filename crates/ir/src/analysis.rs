@@ -223,7 +223,10 @@ pub fn spec_constants(spec: &ParserSpec) -> Vec<(StateId, Vec<Ternary>)> {
         .iter()
         .enumerate()
         .map(|(i, st)| {
-            (StateId(i), st.transitions.iter().map(|t| t.pattern.clone()).collect())
+            (
+                StateId(i),
+                st.transitions.iter().map(|t| t.pattern.clone()).collect(),
+            )
         })
         .collect()
 }
@@ -297,7 +300,11 @@ mod tests {
                 State {
                     name: "s0".into(),
                     extracts: vec![FieldId(0)],
-                    key: vec![KeyPart::Slice { field: FieldId(0), start: 0, end: 2 }],
+                    key: vec![KeyPart::Slice {
+                        field: FieldId(0),
+                        start: 0,
+                        end: 2,
+                    }],
                     transitions: vec![Transition {
                         pattern: Ternary::parse("11").unwrap(),
                         next: NextState::State(StateId(1)),
@@ -365,8 +372,16 @@ mod tests {
     fn groups_split_noncontiguous() {
         let mut spec = chain_spec(false);
         spec.states[0].key = vec![
-            KeyPart::Slice { field: FieldId(0), start: 0, end: 2 },
-            KeyPart::Slice { field: FieldId(0), start: 5, end: 7 },
+            KeyPart::Slice {
+                field: FieldId(0),
+                start: 0,
+                end: 2,
+            },
+            KeyPart::Slice {
+                field: FieldId(0),
+                start: 5,
+                end: 7,
+            },
         ];
         spec.states[0].transitions[0].pattern = Ternary::parse("11**").unwrap();
         let groups = key_bit_groups(&spec);
@@ -409,7 +424,9 @@ mod tests {
     fn lookahead_bound() {
         let mut spec = chain_spec(false);
         assert_eq!(max_lookahead(&spec), 0);
-        spec.states[0].key.push(KeyPart::Lookahead { start: 4, end: 12 });
+        spec.states[0]
+            .key
+            .push(KeyPart::Lookahead { start: 4, end: 12 });
         assert_eq!(max_lookahead(&spec), 12);
     }
 }

@@ -35,7 +35,9 @@ pub struct OutputDict {
 impl OutputDict {
     /// An empty dictionary over `n` fields.
     pub fn new(n: usize) -> OutputDict {
-        OutputDict { values: vec![None; n] }
+        OutputDict {
+            values: vec![None; n],
+        }
     }
 
     /// The value of field `f`, if extracted.
@@ -116,7 +118,12 @@ pub fn simulate(spec: &ParserSpec, input: &BitString, max_iters: usize) -> SimRe
                 }
             };
             if pos + take > input.len() {
-                return SimResult { status: ParseStatus::OutOfInput, dict, path, consumed: pos };
+                return SimResult {
+                    status: ParseStatus::OutOfInput,
+                    dict,
+                    path,
+                    consumed: pos,
+                };
             }
             let raw = input.slice(pos, pos + take);
             pos += take;
@@ -149,8 +156,11 @@ pub fn simulate(spec: &ParserSpec, input: &BitString, max_iters: usize) -> SimRe
                         // Hardware pads short packets: lookahead bits past
                         // the end of the input read as zeros.
                         for i in start..end {
-                            let bit =
-                                if pos + i < input.len() { input.get(pos + i) } else { false };
+                            let bit = if pos + i < input.len() {
+                                input.get(pos + i)
+                            } else {
+                                false
+                            };
                             key.push(bit);
                         }
                     }
@@ -165,15 +175,30 @@ pub fn simulate(spec: &ParserSpec, input: &BitString, max_iters: usize) -> SimRe
 
         match next {
             NextState::Accept => {
-                return SimResult { status: ParseStatus::Accept, dict, path, consumed: pos }
+                return SimResult {
+                    status: ParseStatus::Accept,
+                    dict,
+                    path,
+                    consumed: pos,
+                }
             }
             NextState::Reject => {
-                return SimResult { status: ParseStatus::Reject, dict, path, consumed: pos }
+                return SimResult {
+                    status: ParseStatus::Reject,
+                    dict,
+                    path,
+                    consumed: pos,
+                }
             }
             NextState::State(s) => current = s,
         }
     }
-    SimResult { status: ParseStatus::IterationBudget, dict, path, consumed: pos }
+    SimResult {
+        status: ParseStatus::IterationBudget,
+        dict,
+        path,
+        consumed: pos,
+    }
 }
 
 #[cfg(test)]
@@ -213,7 +238,11 @@ mod tests {
                 State {
                     name: "State0".into(),
                     extracts: vec![FieldId(0)],
-                    key: vec![KeyPart::Slice { field: FieldId(0), start: 0, end: 1 }],
+                    key: vec![KeyPart::Slice {
+                        field: FieldId(0),
+                        start: 0,
+                        end: 1,
+                    }],
                     transitions: vec![Transition {
                         pattern: Ternary::parse("0").unwrap(),
                         next: NextState::State(StateId(1)),
@@ -356,24 +385,22 @@ mod tests {
     fn first_match_wins() {
         let spec = ParserSpec {
             fields: vec![Field::fixed("f", 2)],
-            states: vec![
-                State {
-                    name: "s0".into(),
-                    extracts: vec![FieldId(0)],
-                    key: vec![KeyPart::field(FieldId(0), 2)],
-                    transitions: vec![
-                        Transition {
-                            pattern: Ternary::parse("1*").unwrap(),
-                            next: NextState::Accept,
-                        },
-                        Transition {
-                            pattern: Ternary::parse("11").unwrap(),
-                            next: NextState::Reject,
-                        },
-                    ],
-                    default: NextState::Reject,
-                },
-            ],
+            states: vec![State {
+                name: "s0".into(),
+                extracts: vec![FieldId(0)],
+                key: vec![KeyPart::field(FieldId(0), 2)],
+                transitions: vec![
+                    Transition {
+                        pattern: Ternary::parse("1*").unwrap(),
+                        next: NextState::Accept,
+                    },
+                    Transition {
+                        pattern: Ternary::parse("11").unwrap(),
+                        next: NextState::Reject,
+                    },
+                ],
+                default: NextState::Reject,
+            }],
             start: StateId(0),
         };
         // 11 matches both rules; the first (Accept) must win.

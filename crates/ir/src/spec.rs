@@ -1,19 +1,18 @@
 //! The parser-specification data model.
 
 use ph_bits::Ternary;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a packet field within a [`ParserSpec`].
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct FieldId(pub usize);
 
 /// Index of a parser state within a [`ParserSpec`].
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct StateId(pub usize);
 
 /// How a field's extracted length is determined.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum FieldKind {
     /// Length fixed at compile time (the field's `width`).
     Fixed,
@@ -27,7 +26,7 @@ pub enum FieldKind {
 ///
 /// This covers the common IPv4-options pattern
 /// (`len = (IHL - 5) * 32` bits).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct VarLen {
     /// The field whose extracted value controls the length.
     pub control: FieldId,
@@ -38,7 +37,7 @@ pub struct VarLen {
 }
 
 /// A packet field (one entry of the output dictionary).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Field {
     /// Fully qualified display name, e.g. `"ethernet.etherType"`.
     pub name: String,
@@ -51,12 +50,16 @@ pub struct Field {
 impl Field {
     /// A fixed-width field.
     pub fn fixed(name: impl Into<String>, width: usize) -> Field {
-        Field { name: name.into(), width, kind: FieldKind::Fixed }
+        Field {
+            name: name.into(),
+            width,
+            kind: FieldKind::Fixed,
+        }
     }
 }
 
 /// One component of a transition key.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum KeyPart {
     /// Bits `[start, end)` of an already extracted field.
     Slice {
@@ -80,7 +83,11 @@ pub enum KeyPart {
 impl KeyPart {
     /// A whole-field key part.
     pub fn field(f: FieldId, width: usize) -> KeyPart {
-        KeyPart::Slice { field: f, start: 0, end: width }
+        KeyPart::Slice {
+            field: f,
+            start: 0,
+            end: width,
+        }
     }
 
     /// Width of this key part in bits.
@@ -92,7 +99,7 @@ impl KeyPart {
 }
 
 /// Where a transition goes.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum NextState {
     /// Another parser state.
     State(StateId),
@@ -103,7 +110,7 @@ pub enum NextState {
 }
 
 /// A single select rule: ternary pattern over the state's key → next state.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Transition {
     /// The pattern; width must equal the state's key width.
     pub pattern: Ternary,
@@ -112,7 +119,7 @@ pub struct Transition {
 }
 
 /// A parser state: ordered field extractions, then a keyed select.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct State {
     /// Display name, e.g. `"parse_ipv4"`.
     pub name: String,
@@ -135,7 +142,7 @@ impl State {
 }
 
 /// A complete parser specification.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ParserSpec {
     /// All packet fields (the output dictionary's domain).
     pub fields: Vec<Field>,
@@ -151,7 +158,11 @@ pub enum SpecError {
     /// A state/field index was out of range.
     BadIndex(String),
     /// A transition pattern's width differs from the state's key width.
-    PatternWidth { state: String, pattern_width: usize, key_width: usize },
+    PatternWidth {
+        state: String,
+        pattern_width: usize,
+        key_width: usize,
+    },
     /// A key slice exceeds its field's width.
     SliceRange { state: String, field: String },
     /// A varbit control reference is invalid.
@@ -164,7 +175,11 @@ impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpecError::BadIndex(m) => write!(f, "bad index: {m}"),
-            SpecError::PatternWidth { state, pattern_width, key_width } => write!(
+            SpecError::PatternWidth {
+                state,
+                pattern_width,
+                key_width,
+            } => write!(
                 f,
                 "state {state}: pattern width {pattern_width} != key width {key_width}"
             ),
@@ -214,7 +229,10 @@ impl ParserSpec {
         }
         for (fi, f) in self.fields.iter().enumerate() {
             if f.width == 0 {
-                return Err(SpecError::BadIndex(format!("field {} has zero width", f.name)));
+                return Err(SpecError::BadIndex(format!(
+                    "field {} has zero width",
+                    f.name
+                )));
             }
             if let FieldKind::Var(v) = &f.kind {
                 if v.control.0 >= self.fields.len() {
@@ -227,6 +245,13 @@ impl ParserSpec {
                     return Err(SpecError::BadVarLen(format!(
                         "field {} controls its own length",
                         f.name
+                    )));
+                }
+                if matches!(self.fields[v.control.0].kind, FieldKind::Var(_)) {
+                    return Err(SpecError::BadVarLen(format!(
+                        "field {} is controlled by varbit field {}; \
+                         control fields must be fixed-width",
+                        f.name, self.fields[v.control.0].name
                     )));
                 }
             }
@@ -310,7 +335,11 @@ mod tests {
                 State {
                     name: "State0".into(),
                     extracts: vec![FieldId(0)],
-                    key: vec![KeyPart::Slice { field: FieldId(0), start: 0, end: 1 }],
+                    key: vec![KeyPart::Slice {
+                        field: FieldId(0),
+                        start: 0,
+                        end: 1,
+                    }],
                     transitions: vec![Transition {
                         pattern: Ternary::parse("0").unwrap(),
                         next: NextState::State(StateId(1)),
@@ -344,7 +373,11 @@ mod tests {
     #[test]
     fn validate_rejects_bad_slice() {
         let mut s = fig7_spec2();
-        s.states[0].key = vec![KeyPart::Slice { field: FieldId(0), start: 2, end: 9 }];
+        s.states[0].key = vec![KeyPart::Slice {
+            field: FieldId(0),
+            start: 2,
+            end: 9,
+        }];
         assert!(matches!(s.validate(), Err(SpecError::SliceRange { .. })));
     }
 
@@ -358,9 +391,32 @@ mod tests {
     #[test]
     fn validate_rejects_self_controlling_varbit() {
         let mut s = fig7_spec2();
-        s.fields[0].kind =
-            FieldKind::Var(VarLen { control: FieldId(0), multiplier: 1, offset: 0 });
+        s.fields[0].kind = FieldKind::Var(VarLen {
+            control: FieldId(0),
+            multiplier: 1,
+            offset: 0,
+        });
         assert!(matches!(s.validate(), Err(SpecError::BadVarLen(_))));
+    }
+
+    #[test]
+    fn validate_rejects_varbit_controlled_by_varbit() {
+        let mut s = fig7_spec2();
+        // field_1 is varbit controlled by field_0, which is itself varbit.
+        s.fields.push(Field::fixed("field_2", 4));
+        s.fields[0].kind = FieldKind::Var(VarLen {
+            control: FieldId(2),
+            multiplier: 1,
+            offset: 0,
+        });
+        s.fields[1].kind = FieldKind::Var(VarLen {
+            control: FieldId(0),
+            multiplier: 1,
+            offset: 0,
+        });
+        let err = s.validate().unwrap_err();
+        assert!(matches!(err, SpecError::BadVarLen(_)));
+        assert!(err.to_string().contains("controlled by varbit"), "{err}");
     }
 
     #[test]
@@ -377,7 +433,11 @@ mod tests {
             name: "s".into(),
             extracts: vec![],
             key: vec![
-                KeyPart::Slice { field: FieldId(0), start: 0, end: 3 },
+                KeyPart::Slice {
+                    field: FieldId(0),
+                    start: 0,
+                    end: 3,
+                },
                 KeyPart::Lookahead { start: 0, end: 5 },
             ],
             transitions: vec![],

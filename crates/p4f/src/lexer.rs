@@ -92,52 +92,88 @@ pub fn lex(src: &str) -> Result<Vec<Token>, String> {
                 i += 2;
             }
             '{' => {
-                out.push(Token { kind: TokKind::LBrace, line });
+                out.push(Token {
+                    kind: TokKind::LBrace,
+                    line,
+                });
                 i += 1;
             }
             '}' => {
-                out.push(Token { kind: TokKind::RBrace, line });
+                out.push(Token {
+                    kind: TokKind::RBrace,
+                    line,
+                });
                 i += 1;
             }
             '(' => {
-                out.push(Token { kind: TokKind::LParen, line });
+                out.push(Token {
+                    kind: TokKind::LParen,
+                    line,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { kind: TokKind::RParen, line });
+                out.push(Token {
+                    kind: TokKind::RParen,
+                    line,
+                });
                 i += 1;
             }
             '[' => {
-                out.push(Token { kind: TokKind::LBracket, line });
+                out.push(Token {
+                    kind: TokKind::LBracket,
+                    line,
+                });
                 i += 1;
             }
             ']' => {
-                out.push(Token { kind: TokKind::RBracket, line });
+                out.push(Token {
+                    kind: TokKind::RBracket,
+                    line,
+                });
                 i += 1;
             }
             ':' => {
-                out.push(Token { kind: TokKind::Colon, line });
+                out.push(Token {
+                    kind: TokKind::Colon,
+                    line,
+                });
                 i += 1;
             }
             ';' => {
-                out.push(Token { kind: TokKind::Semi, line });
+                out.push(Token {
+                    kind: TokKind::Semi,
+                    line,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Token { kind: TokKind::Comma, line });
+                out.push(Token {
+                    kind: TokKind::Comma,
+                    line,
+                });
                 i += 1;
             }
             '.' => {
-                out.push(Token { kind: TokKind::Dot, line });
+                out.push(Token {
+                    kind: TokKind::Dot,
+                    line,
+                });
                 i += 1;
             }
             '-' => {
-                out.push(Token { kind: TokKind::Minus, line });
+                out.push(Token {
+                    kind: TokKind::Minus,
+                    line,
+                });
                 i += 1;
             }
             '&' => {
                 if bytes.get(i + 1) == Some(&'&') && bytes.get(i + 2) == Some(&'&') {
-                    out.push(Token { kind: TokKind::MaskOp, line });
+                    out.push(Token {
+                        kind: TokKind::MaskOp,
+                        line,
+                    });
                     i += 3;
                 } else {
                     return Err(format!("line {line}: stray `&` (expected `&&&`)"));
@@ -157,7 +193,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, String> {
                 if s.is_empty() {
                     return Err(format!("line {line}: empty binary literal"));
                 }
-                out.push(Token { kind: TokKind::BinaryPattern(s), line });
+                out.push(Token {
+                    kind: TokKind::BinaryPattern(s),
+                    line,
+                });
             }
             '0' if bytes.get(i + 1) == Some(&'x') || bytes.get(i + 1) == Some(&'X') => {
                 i += 2;
@@ -170,7 +209,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, String> {
                 }
                 let v = u64::from_str_radix(&s, 16)
                     .map_err(|e| format!("line {line}: bad hex literal: {e}"))?;
-                out.push(Token { kind: TokKind::Number(v), line });
+                out.push(Token {
+                    kind: TokKind::Number(v),
+                    line,
+                });
             }
             c if c.is_ascii_digit() => {
                 let mut s = String::new();
@@ -180,9 +222,13 @@ pub fn lex(src: &str) -> Result<Vec<Token>, String> {
                     }
                     i += 1;
                 }
-                let v: u64 =
-                    s.parse().map_err(|e| format!("line {line}: bad number: {e}"))?;
-                out.push(Token { kind: TokKind::Number(v), line });
+                let v: u64 = s
+                    .parse()
+                    .map_err(|e| format!("line {line}: bad number: {e}"))?;
+                out.push(Token {
+                    kind: TokKind::Number(v),
+                    line,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let mut s = String::new();
@@ -190,12 +236,18 @@ pub fn lex(src: &str) -> Result<Vec<Token>, String> {
                     s.push(bytes[i]);
                     i += 1;
                 }
-                out.push(Token { kind: TokKind::Ident(s), line });
+                out.push(Token {
+                    kind: TokKind::Ident(s),
+                    line,
+                });
             }
             other => return Err(format!("line {line}: unexpected character `{other}`")),
         }
     }
-    out.push(Token { kind: TokKind::Eof, line });
+    out.push(Token {
+        kind: TokKind::Eof,
+        line,
+    });
     Ok(out)
 }
 
@@ -244,7 +296,12 @@ mod tests {
     fn mask_operator() {
         assert_eq!(
             kinds("5 &&& 7"),
-            vec![TokKind::Number(5), TokKind::MaskOp, TokKind::Number(7), TokKind::Eof]
+            vec![
+                TokKind::Number(5),
+                TokKind::MaskOp,
+                TokKind::Number(7),
+                TokKind::Eof
+            ]
         );
         assert!(lex("5 & 7").is_err());
     }

@@ -35,7 +35,10 @@ impl std::error::Error for ParseError {}
 /// Lexical, syntactic, name-resolution and structural-validation problems
 /// are all reported as [`ParseError`].
 pub fn parse_parser(src: &str) -> Result<ParserSpec, ParseError> {
-    let tokens = lex(src).map_err(|m| ParseError { line: 0, message: m })?;
+    let tokens = lex(src).map_err(|m| ParseError {
+        line: 0,
+        message: m,
+    })?;
     let mut p = Parser { tokens, pos: 0 };
     p.program()
 }
@@ -74,7 +77,10 @@ impl Parser {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { line: self.peek().line, message: msg.into() })
+        Err(ParseError {
+            line: self.peek().line,
+            message: msg.into(),
+        })
     }
 
     fn expect(&mut self, kind: &TokKind) -> Result<Token, ParseError> {
@@ -152,14 +158,25 @@ impl Parser {
 
         let pending = match pending_states {
             Some(p) => p,
-            None => return Err(ParseError { line: 0, message: "no parser block".into() }),
+            None => {
+                return Err(ParseError {
+                    line: 0,
+                    message: "no parser block".into(),
+                })
+            }
         };
 
         // Resolve state names.
-        let state_index: HashMap<String, usize> =
-            pending.iter().enumerate().map(|(i, s)| (s.name.clone(), i)).collect();
+        let state_index: HashMap<String, usize> = pending
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.name.clone(), i))
+            .collect();
         if state_index.len() != pending.len() {
-            return Err(ParseError { line: 0, message: "duplicate state name".into() });
+            return Err(ParseError {
+                line: 0,
+                message: "duplicate state name".into(),
+            });
         }
         let resolve = |name: &str, line: usize| -> Result<NextState, ParseError> {
             match name {
@@ -168,7 +185,10 @@ impl Parser {
                 n => state_index
                     .get(n)
                     .map(|&i| NextState::State(StateId(i)))
-                    .ok_or_else(|| ParseError { line, message: format!("unknown state `{n}`") }),
+                    .ok_or_else(|| ParseError {
+                        line,
+                        message: format!("unknown state `{n}`"),
+                    }),
             }
         };
 
@@ -206,7 +226,10 @@ impl Parser {
                         })?
                     }
                 };
-                transitions.push(Transition { pattern, next: resolve(target, *line)? });
+                transitions.push(Transition {
+                    pattern,
+                    next: resolve(target, *line)?,
+                });
             }
             let default = match &ps.default {
                 Some((t, line)) => resolve(t, *line)?,
@@ -221,13 +244,24 @@ impl Parser {
             });
         }
 
-        let start = state_index.get("start").copied().map(StateId).ok_or(ParseError {
-            line: 0,
-            message: "no `start` state".into(),
-        })?;
+        let start = state_index
+            .get("start")
+            .copied()
+            .map(StateId)
+            .ok_or(ParseError {
+                line: 0,
+                message: "no `start` state".into(),
+            })?;
 
-        let spec = ParserSpec { fields, states, start };
-        spec.validate().map_err(|e| ParseError { line: 0, message: e.to_string() })?;
+        let spec = ParserSpec {
+            fields,
+            states,
+            start,
+        };
+        spec.validate().map_err(|e| ParseError {
+            line: 0,
+            message: e.to_string(),
+        })?;
         Ok(spec)
     }
 
@@ -240,7 +274,10 @@ impl Parser {
         self.keyword("header")?;
         let (hname, hline) = self.ident()?;
         if headers.contains_key(&hname) {
-            return Err(ParseError { line: hline, message: format!("duplicate header `{hname}`") });
+            return Err(ParseError {
+                line: hline,
+                message: format!("duplicate header `{hname}`"),
+            });
         }
         self.expect(&TokKind::LBrace)?;
         let mut members = Vec::new();
@@ -277,6 +314,18 @@ impl Parser {
                             ),
                         })?
                     };
+                    // The length rule needs the control value before this
+                    // field is sized, so the control itself must be fixed.
+                    if matches!(fields[ctl_idx].kind, FieldKind::Var(_)) {
+                        return Err(ParseError {
+                            line: ctl_line,
+                            message: format!(
+                                "varbit control field `{}` is itself varbit; \
+                                 control fields must have a fixed width",
+                                fields[ctl_idx].name
+                            ),
+                        });
+                    }
                     self.expect(&TokKind::Comma)?;
                     let mult = self.signed_number()?;
                     self.expect(&TokKind::Comma)?;
@@ -300,7 +349,11 @@ impl Parser {
             };
             self.expect(&TokKind::Semi)?;
             let idx = fields.len();
-            fields.push(Field { name: format!("{hname}.{fname}"), width, kind });
+            fields.push(Field {
+                name: format!("{hname}.{fname}"),
+                width,
+                kind,
+            });
             qualified.insert(format!("{hname}.{fname}"), idx);
             local.insert(fname, idx);
             members.push(idx);
@@ -437,9 +490,10 @@ impl Parser {
         self.expect(&TokKind::Dot)?;
         let (fname, _) = self.ident()?;
         let q = format!("{first}.{fname}");
-        let idx = *qualified
-            .get(&q)
-            .ok_or_else(|| ParseError { line, message: format!("unknown field `{q}`") })?;
+        let idx = *qualified.get(&q).ok_or_else(|| ParseError {
+            line,
+            message: format!("unknown field `{q}`"),
+        })?;
         let width = fields[idx].width;
         if self.peek().kind == TokKind::LBracket {
             self.next();
@@ -447,9 +501,17 @@ impl Parser {
             self.expect(&TokKind::Colon)?;
             let end = self.number()? as usize;
             self.expect(&TokKind::RBracket)?;
-            Ok(KeyPart::Slice { field: FieldId(idx), start, end })
+            Ok(KeyPart::Slice {
+                field: FieldId(idx),
+                start,
+                end,
+            })
         } else {
-            Ok(KeyPart::Slice { field: FieldId(idx), start: 0, end: width })
+            Ok(KeyPart::Slice {
+                field: FieldId(idx),
+                start: 0,
+                end: width,
+            })
         }
     }
 
@@ -462,7 +524,10 @@ impl Parser {
                 let (target, tline) = self.ident()?;
                 self.expect(&TokKind::Semi)?;
                 if st.default.is_some() {
-                    return Err(ParseError { line, message: "duplicate default rule".into() });
+                    return Err(ParseError {
+                        line,
+                        message: "duplicate default rule".into(),
+                    });
                 }
                 st.default = Some((target, tline));
                 Ok(())
@@ -505,7 +570,9 @@ fn width_check(v: u64, width: usize, line: usize) -> Result<(), ParseError> {
     if width > 64 {
         return Err(ParseError {
             line,
-            message: format!("key is {width} bits; numeric patterns support at most 64 — use a binary pattern"),
+            message: format!(
+                "key is {width} bits; numeric patterns support at most 64 — use a binary pattern"
+            ),
         });
     }
     Ok(())
@@ -552,7 +619,7 @@ mod tests {
         // 112 bits of addresses + 0x0800 + 16 bits of IPv4 header.
         let mut input = BitString::zeros(96);
         input = input.concat(&BitString::from_u64(0x0800, 16));
-        input = input.concat(&BitString::from_u64(0x4500 >> 0, 16));
+        input = input.concat(&BitString::from_u64(0x4500, 16));
         let r = simulate(&spec, &input, 10);
         assert_eq!(r.status, ParseStatus::Accept);
         let ihl = spec.field_by_name("ipv4_t.ihl").unwrap();
@@ -637,20 +704,42 @@ mod tests {
         )
         .unwrap();
         let opts = spec.field_by_name("ipv4_t.options").unwrap();
-        match &spec.field(opts).kind {
-            FieldKind::Var(v) => {
-                assert_eq!(v.control, spec.field_by_name("ipv4_t.ihl").unwrap());
-                assert_eq!(v.multiplier, 32);
-                assert_eq!(v.offset, -160);
+        let ihl = spec.field_by_name("ipv4_t.ihl").unwrap();
+        assert_eq!(
+            spec.field(opts).kind,
+            FieldKind::Var(VarLen {
+                control: ihl,
+                multiplier: 32,
+                offset: -160
+            })
+        );
+    }
+
+    #[test]
+    fn varbit_control_must_be_fixed() {
+        let e = parse_parser(
+            r#"
+            header h_t {
+                len : 4;
+                a : varbit(64, len, 8, 0);
+                b : varbit(64, a, 8, 0);
             }
-            _ => panic!("expected varbit"),
-        }
+            parser {
+                state start { extract(h_t); transition accept; }
+            }
+            "#,
+        )
+        .unwrap_err();
+        assert_eq!(e.line, 5);
+        assert!(e.message.contains("is itself varbit"), "{}", e.message);
     }
 
     #[test]
     fn errors_are_reported_with_lines() {
-        let e = parse_parser("header h { f : 4; }\nparser { state start { extract(nope); transition accept; } }")
-            .unwrap_err();
+        let e = parse_parser(
+            "header h { f : 4; }\nparser { state start { extract(nope); transition accept; } }",
+        )
+        .unwrap_err();
         assert_eq!(e.line, 2);
         assert!(e.message.contains("unknown header"));
 

@@ -44,7 +44,9 @@ pub fn parse_dimacs(text: &str) -> Result<(Solver, usize), String> {
         let nv =
             declared_vars.ok_or_else(|| format!("line {}: clause before header", lineno + 1))?;
         for tok in line.split_whitespace() {
-            let v: i64 = tok.parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let v: i64 = tok
+                .parse()
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
             if v == 0 {
                 solver.add_clause(clause.drain(..));
             } else {

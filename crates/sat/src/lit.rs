@@ -90,7 +90,12 @@ impl Not for Lit {
 
 impl fmt::Debug for Lit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}{}", if self.is_neg() { "¬" } else { "" }, self.var().0)
+        write!(
+            f,
+            "{}{}",
+            if self.is_neg() { "¬" } else { "" },
+            self.var().0
+        )
     }
 }
 

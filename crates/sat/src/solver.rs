@@ -166,7 +166,10 @@ impl Solver {
 
     /// Number of original (problem) clauses added.
     pub fn num_clauses(&self) -> usize {
-        self.clauses.iter().filter(|c| !c.learnt && !c.deleted).count()
+        self.clauses
+            .iter()
+            .filter(|c| !c.learnt && !c.deleted)
+            .count()
     }
 
     /// Search statistics accumulated so far.
@@ -269,11 +272,23 @@ impl Solver {
     fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
         let cref = self.clauses.len() as ClauseRef;
-        let w0 = Watch { cref, blocker: lits[1] };
-        let w1 = Watch { cref, blocker: lits[0] };
+        let w0 = Watch {
+            cref,
+            blocker: lits[1],
+        };
+        let w1 = Watch {
+            cref,
+            blocker: lits[0],
+        };
         self.watches[(!lits[0]).index()].push(w0);
         self.watches[(!lits[1]).index()].push(w1);
-        self.clauses.push(Clause { lits, learnt, deleted: false, lbd, activity: 0.0 });
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            deleted: false,
+            lbd,
+            activity: 0.0,
+        });
         if learnt {
             self.stats.learnts += 1;
         }
@@ -334,7 +349,10 @@ impl Solver {
                     if self.lit_lbool(lk) != LBool::False {
                         self.clauses[cref as usize].lits.swap(1, k);
                         self.watches[widx].swap_remove(i);
-                        self.watches[(!lk).index()].push(Watch { cref, blocker: first });
+                        self.watches[(!lk).index()].push(Watch {
+                            cref,
+                            blocker: first,
+                        });
                         continue 'watches;
                     }
                 }
@@ -595,8 +613,11 @@ impl Solver {
                     .unwrap_or(std::cmp::Ordering::Equal),
             )
         });
-        let locked: Vec<ClauseRef> =
-            self.trail.iter().map(|l| self.reason[l.var().index()]).collect();
+        let locked: Vec<ClauseRef> = self
+            .trail
+            .iter()
+            .map(|l| self.reason[l.var().index()])
+            .collect();
         let to_delete = learnts.len() / 2;
         let mut deleted = 0;
         for &cref in &learnts {
@@ -785,6 +806,7 @@ fn luby(i: u64) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::needless_range_loop)] // pigeonhole encodings index by (pigeon, hole)
 mod tests {
     use super::*;
 
@@ -843,8 +865,9 @@ mod tests {
     fn pigeonhole_3_into_2() {
         // 3 pigeons, 2 holes: unsatisfiable, requires real search.
         let mut s = Solver::new();
-        let p: Vec<Vec<Lit>> =
-            (0..3).map(|_| (0..2).map(|_| Lit::pos(s.new_var())).collect()).collect();
+        let p: Vec<Vec<Lit>> = (0..3)
+            .map(|_| (0..2).map(|_| Lit::pos(s.new_var())).collect())
+            .collect();
         for row in &p {
             s.add_clause(row.iter().copied());
         }
@@ -862,8 +885,9 @@ mod tests {
     fn pigeonhole_5_into_4() {
         let n = 5;
         let mut s = Solver::new();
-        let p: Vec<Vec<Lit>> =
-            (0..n).map(|_| (0..n - 1).map(|_| Lit::pos(s.new_var())).collect()).collect();
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| Lit::pos(s.new_var())).collect())
+            .collect();
         for row in &p {
             s.add_clause(row.iter().copied());
         }
@@ -931,8 +955,9 @@ mod tests {
     fn budget_returns_unknown_or_verdict() {
         let n = 8; // pigeonhole 8/7 is hard enough to exceed 10 conflicts
         let mut s = Solver::new();
-        let p: Vec<Vec<Lit>> =
-            (0..n).map(|_| (0..n - 1).map(|_| Lit::pos(s.new_var())).collect()).collect();
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| Lit::pos(s.new_var())).collect())
+            .collect();
         for row in &p {
             s.add_clause(row.iter().copied());
         }
@@ -972,14 +997,15 @@ mod tests {
 
     #[test]
     fn random_3sat_agrees_with_brute_force() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0x9a11 + 42);
+        let mut rng = ph_bits::Rng::seed_from_u64(0x9a11 + 42);
         for round in 0..200 {
             let nv = rng.gen_range(3..=10usize);
             let nc = rng.gen_range(1..=(nv * 5));
             let clauses: Vec<Vec<(usize, bool)>> = (0..nc)
                 .map(|_| {
-                    (0..3).map(|_| (rng.gen_range(0..nv), rng.gen_bool(0.5))).collect()
+                    (0..3)
+                        .map(|_| (rng.gen_range(0..nv), rng.gen_bool(0.5)))
+                        .collect()
                 })
                 .collect();
             let expected = brute_force(nv, &clauses);
@@ -994,9 +1020,9 @@ mod tests {
             if got {
                 // Verify the model satisfies every clause.
                 for c in &clauses {
-                    assert!(c.iter().any(|&(v, neg)| {
-                        s.value(vars[v]).unwrap() != neg
-                    }));
+                    assert!(c
+                        .iter()
+                        .any(|&(v, neg)| { s.value(vars[v]).unwrap() != neg }));
                 }
             }
         }
@@ -1004,13 +1030,16 @@ mod tests {
 
     #[test]
     fn random_sat_with_assumptions_agrees() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = ph_bits::Rng::seed_from_u64(7);
         for _ in 0..100 {
             let nv = rng.gen_range(3..=8usize);
             let nc = rng.gen_range(1..=nv * 4);
             let clauses: Vec<Vec<(usize, bool)>> = (0..nc)
-                .map(|_| (0..3).map(|_| (rng.gen_range(0..nv), rng.gen_bool(0.5))).collect())
+                .map(|_| {
+                    (0..3)
+                        .map(|_| (rng.gen_range(0..nv), rng.gen_bool(0.5)))
+                        .collect()
+                })
                 .collect();
             let n_assume = rng.gen_range(0..=nv.min(3));
             let assumes: Vec<(usize, bool)> =
@@ -1028,14 +1057,84 @@ mod tests {
             for c in &clauses {
                 ok &= s.add_clause(c.iter().map(|&(v, neg)| Lit::new(vars[v], neg)));
             }
-            let assumption_lits: Vec<Lit> =
-                assumes.iter().map(|&(v, neg)| Lit::new(vars[v], neg)).collect();
+            let assumption_lits: Vec<Lit> = assumes
+                .iter()
+                .map(|&(v, neg)| Lit::new(vars[v], neg))
+                .collect();
             let got = if !ok {
                 false
             } else {
                 s.solve_with_assumptions(&assumption_lits) == SolveResult::Sat
             };
             assert_eq!(got, expected);
+        }
+    }
+
+    /// Property behind the incremental verifier: repeatedly solving one
+    /// solver under different assumption sets (learned clauses accumulating
+    /// across queries) must agree, query by query, with a fresh solver
+    /// given the same clauses plus the assumptions as unit clauses.
+    #[test]
+    fn incremental_assumptions_agree_with_fresh_unit_solve() {
+        let mut rng = ph_bits::Rng::seed_from_u64(0x1ac5_0001);
+        for _ in 0..40 {
+            let nv = rng.gen_range(4..=9usize);
+            let nc = rng.gen_range(2..=nv * 4);
+            let clauses: Vec<Vec<(usize, bool)>> = (0..nc)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| (rng.gen_range(0..nv), rng.gen_bool(0.5)))
+                        .collect()
+                })
+                .collect();
+
+            // One persistent solver answers a sequence of assumption sets.
+            let mut inc = Solver::new();
+            let inc_vars: Vec<Var> = (0..nv).map(|_| inc.new_var()).collect();
+            let mut inc_ok = true;
+            for c in &clauses {
+                inc_ok &= inc.add_clause(c.iter().map(|&(v, neg)| Lit::new(inc_vars[v], neg)));
+            }
+
+            for _query in 0..6 {
+                let n_assume = rng.gen_range(0..=nv.min(4));
+                let assumes: Vec<(usize, bool)> = (0..n_assume)
+                    .map(|_| (rng.gen_range(0..nv), rng.gen_bool(0.5)))
+                    .collect();
+
+                // Fresh solver: same clauses, assumptions as units.
+                let mut fresh = Solver::new();
+                let fv: Vec<Var> = (0..nv).map(|_| fresh.new_var()).collect();
+                let mut fresh_ok = inc_ok;
+                for c in &clauses {
+                    fresh_ok &= fresh.add_clause(c.iter().map(|&(v, neg)| Lit::new(fv[v], neg)));
+                }
+                for &(v, neg) in &assumes {
+                    fresh_ok &= fresh.add_clause([Lit::new(fv[v], neg)]);
+                }
+                let fresh_sat = fresh_ok && fresh.solve() == Some(true);
+
+                let lits: Vec<Lit> = assumes
+                    .iter()
+                    .map(|&(v, neg)| Lit::new(inc_vars[v], neg))
+                    .collect();
+                let inc_sat = inc_ok && inc.solve_with_assumptions(&lits) == SolveResult::Sat;
+                assert_eq!(
+                    inc_sat, fresh_sat,
+                    "clauses {clauses:?} assumes {assumes:?}"
+                );
+                if inc_sat {
+                    // The incremental model must satisfy clauses AND assumptions.
+                    for c in &clauses {
+                        assert!(c
+                            .iter()
+                            .any(|&(v, neg)| inc.value(inc_vars[v]).unwrap() != neg));
+                    }
+                    for &(v, neg) in &assumes {
+                        assert_eq!(inc.value(inc_vars[v]).unwrap(), !neg);
+                    }
+                }
+            }
         }
     }
 }

@@ -16,7 +16,10 @@ pub(crate) struct Blaster {
 
 impl Blaster {
     pub fn new() -> Blaster {
-        Blaster { cache: HashMap::new(), true_lit: None }
+        Blaster {
+            cache: HashMap::new(),
+            true_lit: None,
+        }
     }
 
     pub fn lits_of(&self, t: Term) -> Option<&Vec<Lit>> {
@@ -64,8 +67,10 @@ impl Blaster {
                 | Op::Ule(a, b) => vec![a, b],
                 Op::Ite(c, x, y) => vec![c, x, y],
             };
-            let pending: Vec<Term> =
-                deps.into_iter().filter(|d| !self.cache.contains_key(d)).collect();
+            let pending: Vec<Term> = deps
+                .into_iter()
+                .filter(|d| !self.cache.contains_key(d))
+                .collect();
             if pending.is_empty() {
                 stack.pop();
                 let lits = self.blast_node(pool, cur, sat);
@@ -78,12 +83,16 @@ impl Blaster {
     }
 
     /// Lowers one term whose children are already cached.
+    ///
+    /// Every gate goes through the constant-aware helpers: literals equal
+    /// to the constant-true literal (or its negation) short-circuit, so
+    /// mixed constant/variable terms — e.g. the `var == const` pins of the
+    /// incremental verifier — lower to clauses over the variable bits alone
+    /// instead of a fresh Tseitin variable per bit.
     fn blast_node(&mut self, pool: &TermPool, t: Term, sat: &mut Solver) -> Vec<Lit> {
+        let tl = self.true_lit(sat);
         let lits = match *pool.op(t) {
-            Op::Const(ref b) => {
-                let tl = self.true_lit(sat);
-                b.iter().map(|bit| if bit { tl } else { !tl }).collect()
-            }
+            Op::Const(ref b) => b.iter().map(|bit| if bit { tl } else { !tl }).collect(),
             Op::Var(_, w) => (0..w).map(|_| Lit::pos(sat.new_var())).collect(),
             Op::Not(a) => {
                 let av = self.blast(pool, a, sat);
@@ -91,15 +100,24 @@ impl Blaster {
             }
             Op::And(a, b) => {
                 let (av, bv) = (self.blast(pool, a, sat), self.blast(pool, b, sat));
-                av.iter().zip(&bv).map(|(&x, &y)| and_gate(sat, x, y)).collect()
+                av.iter()
+                    .zip(&bv)
+                    .map(|(&x, &y)| and_gate(sat, x, y, tl))
+                    .collect()
             }
             Op::Or(a, b) => {
                 let (av, bv) = (self.blast(pool, a, sat), self.blast(pool, b, sat));
-                av.iter().zip(&bv).map(|(&x, &y)| or_gate(sat, x, y)).collect()
+                av.iter()
+                    .zip(&bv)
+                    .map(|(&x, &y)| or_gate(sat, x, y, tl))
+                    .collect()
             }
             Op::Xor(a, b) => {
                 let (av, bv) = (self.blast(pool, a, sat), self.blast(pool, b, sat));
-                av.iter().zip(&bv).map(|(&x, &y)| xor_gate(sat, x, y)).collect()
+                av.iter()
+                    .zip(&bv)
+                    .map(|(&x, &y)| xor_gate(sat, x, y, tl))
+                    .collect()
             }
             Op::Concat(a, b) => {
                 let mut av = self.blast(pool, a, sat);
@@ -112,35 +130,47 @@ impl Blaster {
             }
             Op::Add(a, b) => {
                 let (av, bv) = (self.blast(pool, a, sat), self.blast(pool, b, sat));
-                ripple_add(sat, &av, &bv)
+                ripple_add(sat, &av, &bv, tl)
             }
             Op::Eq(a, b) => {
                 let (av, bv) = (self.blast(pool, a, sat), self.blast(pool, b, sat));
-                vec![eq_gate(sat, &av, &bv)]
+                vec![eq_gate(sat, &av, &bv, tl)]
             }
             Op::Ult(a, b) => {
                 let (av, bv) = (self.blast(pool, a, sat), self.blast(pool, b, sat));
-                let tl = self.true_lit(sat);
                 vec![ult_gate(sat, &av, &bv, tl)]
             }
             Op::Ule(a, b) => {
                 // a <= b  ==  ¬(b < a)
                 let (av, bv) = (self.blast(pool, a, sat), self.blast(pool, b, sat));
-                let tl = self.true_lit(sat);
                 vec![!ult_gate(sat, &bv, &av, tl)]
             }
             Op::Ite(c, x, y) => {
                 let cl = self.blast(pool, c, sat)[0];
                 let (xv, yv) = (self.blast(pool, x, sat), self.blast(pool, y, sat));
-                xv.iter().zip(&yv).map(|(&xb, &yb)| mux_gate(sat, cl, xb, yb)).collect()
+                xv.iter()
+                    .zip(&yv)
+                    .map(|(&xb, &yb)| mux_gate(sat, cl, xb, yb, tl))
+                    .collect()
             }
         };
         lits
     }
 }
 
-/// g ↔ a ∧ b
-fn and_gate(sat: &mut Solver, a: Lit, b: Lit) -> Lit {
+/// g ↔ a ∧ b; `tl` is the constant-true literal, enabling constant and
+/// structural short-circuits (no fresh variable when the result is one of
+/// the inputs or a constant).
+fn and_gate(sat: &mut Solver, a: Lit, b: Lit, tl: Lit) -> Lit {
+    if a == tl || a == b {
+        return b;
+    }
+    if b == tl {
+        return a;
+    }
+    if a == !tl || b == !tl || a == !b {
+        return !tl;
+    }
     let g = Lit::pos(sat.new_var());
     sat.add_clause([!g, a]);
     sat.add_clause([!g, b]);
@@ -149,12 +179,30 @@ fn and_gate(sat: &mut Solver, a: Lit, b: Lit) -> Lit {
 }
 
 /// g ↔ a ∨ b
-fn or_gate(sat: &mut Solver, a: Lit, b: Lit) -> Lit {
-    !and_gate(sat, !a, !b)
+fn or_gate(sat: &mut Solver, a: Lit, b: Lit, tl: Lit) -> Lit {
+    !and_gate(sat, !a, !b, tl)
 }
 
 /// g ↔ a ⊕ b
-fn xor_gate(sat: &mut Solver, a: Lit, b: Lit) -> Lit {
+fn xor_gate(sat: &mut Solver, a: Lit, b: Lit, tl: Lit) -> Lit {
+    if a == tl {
+        return !b;
+    }
+    if a == !tl {
+        return b;
+    }
+    if b == tl {
+        return !a;
+    }
+    if b == !tl {
+        return a;
+    }
+    if a == b {
+        return !tl;
+    }
+    if a == !b {
+        return tl;
+    }
     let g = Lit::pos(sat.new_var());
     sat.add_clause([!g, a, b]);
     sat.add_clause([!g, !a, !b]);
@@ -164,7 +212,22 @@ fn xor_gate(sat: &mut Solver, a: Lit, b: Lit) -> Lit {
 }
 
 /// g ↔ (c ? x : y)
-fn mux_gate(sat: &mut Solver, c: Lit, x: Lit, y: Lit) -> Lit {
+fn mux_gate(sat: &mut Solver, c: Lit, x: Lit, y: Lit, tl: Lit) -> Lit {
+    if c == tl {
+        return x;
+    }
+    if c == !tl {
+        return y;
+    }
+    if x == y {
+        return x;
+    }
+    if x == tl && y == !tl {
+        return c;
+    }
+    if x == !tl && y == tl {
+        return !c;
+    }
     let g = Lit::pos(sat.new_var());
     sat.add_clause([!c, !x, g]);
     sat.add_clause([!c, x, !g]);
@@ -177,19 +240,19 @@ fn mux_gate(sat: &mut Solver, c: Lit, x: Lit, y: Lit) -> Lit {
 }
 
 /// Modular ripple-carry addition, wire order (index 0 = MSB).
-fn ripple_add(sat: &mut Solver, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+fn ripple_add(sat: &mut Solver, a: &[Lit], b: &[Lit], tl: Lit) -> Vec<Lit> {
     debug_assert_eq!(a.len(), b.len());
     let mut out = vec![Lit::pos(ph_sat::Var(0)); a.len()];
     let mut carry: Option<Lit> = None;
     for i in (0..a.len()).rev() {
-        let axb = xor_gate(sat, a[i], b[i]);
+        let axb = xor_gate(sat, a[i], b[i], tl);
         let (sum, new_carry) = match carry {
-            None => (axb, and_gate(sat, a[i], b[i])),
+            None => (axb, and_gate(sat, a[i], b[i], tl)),
             Some(c) => {
-                let s = xor_gate(sat, axb, c);
-                let t1 = and_gate(sat, a[i], b[i]);
-                let t2 = and_gate(sat, axb, c);
-                (s, or_gate(sat, t1, t2))
+                let s = xor_gate(sat, axb, c, tl);
+                let t1 = and_gate(sat, a[i], b[i], tl);
+                let t2 = and_gate(sat, axb, c, tl);
+                (s, or_gate(sat, t1, t2, tl))
             }
         };
         out[i] = sum;
@@ -199,20 +262,37 @@ fn ripple_add(sat: &mut Solver, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
 }
 
 /// g ↔ (a == b), bitwise.
-fn eq_gate(sat: &mut Solver, a: &[Lit], b: &[Lit]) -> Lit {
+fn eq_gate(sat: &mut Solver, a: &[Lit], b: &[Lit], tl: Lit) -> Lit {
     debug_assert_eq!(a.len(), b.len());
-    let g = Lit::pos(sat.new_var());
-    // eq_i literals: ¬(a_i ⊕ b_i)
-    let eqs: Vec<Lit> = a.iter().zip(b).map(|(&x, &y)| !xor_gate(sat, x, y)).collect();
-    // g → eq_i for all i
-    for &e in &eqs {
-        sat.add_clause([!g, e]);
+    // eq_i literals: ¬(a_i ⊕ b_i).  Constant-true positions vanish; a
+    // constant-false position makes the whole equality false.
+    let mut eqs: Vec<Lit> = Vec::with_capacity(a.len());
+    for (&x, &y) in a.iter().zip(b) {
+        let e = !xor_gate(sat, x, y, tl);
+        if e == tl {
+            continue;
+        }
+        if e == !tl {
+            return !tl;
+        }
+        eqs.push(e);
     }
-    // (∧ eq_i) → g
-    let mut clause: Vec<Lit> = eqs.iter().map(|&e| !e).collect();
-    clause.push(g);
-    sat.add_clause(clause);
-    g
+    match eqs.as_slice() {
+        [] => tl,
+        [only] => *only,
+        _ => {
+            let g = Lit::pos(sat.new_var());
+            // g → eq_i for all i
+            for &e in &eqs {
+                sat.add_clause([!g, e]);
+            }
+            // (∧ eq_i) → g
+            let mut clause: Vec<Lit> = eqs.iter().map(|&e| !e).collect();
+            clause.push(g);
+            sat.add_clause(clause);
+            g
+        }
+    }
 }
 
 /// g ↔ (a < b) unsigned; `tl` is the constant-true literal.
@@ -222,10 +302,10 @@ fn ult_gate(sat: &mut Solver, a: &[Lit], b: &[Lit], tl: Lit) -> Lit {
     // acc' = (¬a_i ∧ b_i) ∨ ((a_i ↔ b_i) ∧ acc)
     let mut acc = !tl; // false
     for i in (0..a.len()).rev() {
-        let lt_here = and_gate(sat, !a[i], b[i]);
-        let eq_here = !xor_gate(sat, a[i], b[i]);
-        let keep = and_gate(sat, eq_here, acc);
-        acc = or_gate(sat, lt_here, keep);
+        let lt_here = and_gate(sat, !a[i], b[i], tl);
+        let eq_here = !xor_gate(sat, a[i], b[i], tl);
+        let keep = and_gate(sat, eq_here, acc, tl);
+        acc = or_gate(sat, lt_here, keep, tl);
     }
     acc
 }
@@ -421,5 +501,122 @@ mod tests {
         s.assert(e1);
         s.assert(e2);
         assert!(s.check().is_unsat());
+    }
+
+    #[test]
+    fn push_pop_retracts_assertions() {
+        let mut s = Smt::new();
+        let x = s.var("x", 8);
+        let five = s.const_u64(5, 8);
+        let is5 = s.eq(x, five);
+        let not5 = s.ne(x, five);
+        s.assert(is5);
+        assert!(s.check().is_sat());
+
+        s.push();
+        s.assert(not5);
+        assert!(s.check().is_unsat());
+        s.pop();
+
+        // The contradiction was scoped; the base problem is SAT again.
+        assert!(s.check().is_sat());
+        assert_eq!(s.model_u64(x), 5);
+    }
+
+    #[test]
+    fn nested_scopes() {
+        let mut s = Smt::new();
+        let x = s.var("x", 4);
+        let three = s.const_u64(3, 4);
+        let lt3 = s.ult(x, three);
+        s.push();
+        s.assert(lt3); // x < 3
+        assert_eq!(s.scope_depth(), 1);
+
+        s.push();
+        let zero = s.const_u64(0, 4);
+        let nz = s.ne(x, zero);
+        let one = s.const_u64(1, 4);
+        let n1 = s.ne(x, one);
+        let two = s.const_u64(2, 4);
+        let n2 = s.ne(x, two);
+        s.assert(nz);
+        s.assert(n1);
+        s.assert(n2); // excludes all of {0,1,2}: contradicts x < 3
+        assert_eq!(s.scope_depth(), 2);
+        assert!(s.check().is_unsat());
+        s.pop();
+
+        // Inner exclusions retracted; x < 3 still holds.
+        assert!(s.check().is_sat());
+        assert!(s.model_u64(x) < 3);
+        s.pop();
+        assert_eq!(s.scope_depth(), 0);
+
+        // Everything retracted.
+        let eight = s.const_u64(8, 4);
+        let is8 = s.eq(x, eight);
+        assert_eq!(s.check_assuming(&[is8]), SmtResult::Sat);
+    }
+
+    #[test]
+    fn assumptions_compose_with_scopes() {
+        let mut s = Smt::new();
+        let x = s.var("x", 4);
+        let seven = s.const_u64(7, 4);
+        let is7 = s.eq(x, seven);
+        let not7 = s.ne(x, seven);
+        s.push();
+        s.assert(not7);
+        // An assumption conflicting with the open scope is UNSAT ...
+        assert_eq!(s.check_assuming(&[is7]), SmtResult::Unsat);
+        // ... and compatible assumptions stay SAT.
+        assert_eq!(s.check_assuming(&[not7]), SmtResult::Sat);
+        s.pop();
+        // After popping, the same assumption is satisfiable.
+        assert_eq!(s.check_assuming(&[is7]), SmtResult::Sat);
+        assert_eq!(s.model_u64(x), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "pop without matching push")]
+    fn pop_without_push_panics() {
+        let mut s = Smt::new();
+        s.pop();
+    }
+
+    #[test]
+    fn constant_folding_collapses_gates() {
+        // Gates fed constants must not allocate fresh solver variables:
+        // x & 0 == 0, x ^ x == 0, x | !x-pattern etc. fold away.
+        let mut s = Smt::new();
+        let x = s.var("x", 8);
+        let zero = s.const_u64(0, 8);
+        let ones = s.const_u64(0xff, 8);
+
+        let and0 = s.and(x, zero);
+        let e1 = s.eq(and0, zero);
+        s.assert(e1); // tautology after folding
+
+        let and1 = s.and(x, ones);
+        let e2 = s.eq(and1, x);
+        s.assert(e2); // x & 0xff == x, also a tautology
+
+        let xorx = s.xor(x, x);
+        let e3 = s.eq(xorx, zero);
+        s.assert(e3);
+
+        let or1 = s.or(x, ones);
+        let e4 = s.eq(or1, ones);
+        s.assert(e4);
+
+        assert!(s.check().is_sat());
+
+        // And the folds preserve semantics on a pinned witness.
+        let c = s.const_u64(0xa5, 8);
+        let pin = s.eq(x, c);
+        assert_eq!(s.check_assuming(&[pin]), SmtResult::Sat);
+        assert_eq!(s.model_u64(and1), 0xa5);
+        assert_eq!(s.model_u64(and0), 0);
     }
 }

@@ -77,6 +77,8 @@ pub struct Smt {
     blaster: blast::Blaster,
     /// Asserted top-level terms (for debugging / statistics).
     assertions: Vec<Term>,
+    /// Selector literal per open assertion scope (see [`Smt::push`]).
+    scopes: Vec<ph_sat::Lit>,
     model_cache: HashMap<Term, BitString>,
 }
 
@@ -94,6 +96,7 @@ impl Smt {
             sat: Solver::new(),
             blaster: blast::Blaster::new(),
             assertions: Vec::new(),
+            scopes: Vec::new(),
             model_cache: HashMap::new(),
         }
     }
@@ -135,7 +138,8 @@ impl Smt {
 
     /// A constant from the low `width` bits of `v`.
     pub fn const_u64(&mut self, v: u64, width: u32) -> Term {
-        self.terms.const_bits(BitString::from_u64(v, width as usize))
+        self.terms
+            .const_bits(BitString::from_u64(v, width as usize))
     }
 
     /// The true boolean (1-bit constant 1).
@@ -306,35 +310,77 @@ impl Smt {
 
     // ---- solving -------------------------------------------------------
 
-    /// Asserts a boolean term to be true in all subsequent checks.
+    /// Asserts a boolean term to be true in all subsequent checks.  Inside
+    /// an open scope (see [`Smt::push`]) the assertion is retracted by the
+    /// matching [`Smt::pop`].
     pub fn assert(&mut self, t: Term) {
         assert_eq!(self.width(t), 1, "assert requires a boolean term");
         self.assertions.push(t);
         let lit = self.blaster.blast_bool(&self.terms, t, &mut self.sat);
-        self.sat.add_clause([lit]);
+        match self.scopes.last() {
+            // Scoped assertion: guarded by the innermost selector, so the
+            // clause deactivates when that scope pops (stack discipline
+            // guarantees inner scopes pop before outer ones).
+            Some(&sel) => {
+                self.sat.add_clause([!sel, lit]);
+            }
+            None => {
+                self.sat.add_clause([lit]);
+            }
+        }
+    }
+
+    /// Opens an assertion scope.  Assertions made until the matching
+    /// [`Smt::pop`] hold only while the scope is open; term and CNF state
+    /// (the bit-blaster cache, learned clauses) survive the pop, which is
+    /// what makes scoped queries cheap.
+    ///
+    /// Implemented as MiniSat-style selector literals riding on the SAT
+    /// solver's assumption mechanism: each scoped clause is guarded by the
+    /// scope's selector, every check assumes the open selectors, and `pop`
+    /// permanently disables the selector with a unit clause.
+    pub fn push(&mut self) {
+        let sel = ph_sat::Lit::pos(self.sat.new_var());
+        self.scopes.push(sel);
+    }
+
+    /// Closes the innermost scope, retracting its assertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no scope is open.
+    pub fn pop(&mut self) {
+        let sel = self.scopes.pop().expect("pop without matching push");
+        self.sat.add_clause([!sel]);
+    }
+
+    /// Number of open assertion scopes.
+    pub fn scope_depth(&self) -> usize {
+        self.scopes.len()
     }
 
     /// Checks satisfiability of the asserted formula.
     pub fn check(&mut self) -> SmtResult {
-        self.model_cache.clear();
-        match self.sat.solve() {
-            Some(true) => SmtResult::Sat,
-            Some(false) => SmtResult::Unsat,
-            None => SmtResult::Unknown,
-        }
+        self.check_assuming(&[])
     }
 
     /// Checks satisfiability under additional boolean terms that hold only
     /// for this call.
+    ///
+    /// Each term is blasted once (the term DAG and CNF are hash-consed, so
+    /// re-assumed terms are free) and passed as a SAT assumption, keeping
+    /// the solver's learned clauses valid across calls.
     pub fn check_assuming(&mut self, extra: &[Term]) -> SmtResult {
         self.model_cache.clear();
-        let lits: Vec<_> = extra
+        let mut lits: Vec<_> = extra
             .iter()
             .map(|&t| {
                 assert_eq!(self.width(t), 1);
                 self.blaster.blast_bool(&self.terms, t, &mut self.sat)
             })
             .collect();
+        // Open scopes activate their guarded clauses via their selectors.
+        lits.extend(self.scopes.iter().copied());
         match self.sat.solve_with_assumptions(&lits) {
             SolveResult::Sat => SmtResult::Sat,
             SolveResult::Unsat => SmtResult::Unsat,
@@ -368,8 +414,10 @@ impl Smt {
                 | Op::Ule(a, b) => vec![a, b],
                 Op::Ite(c, x, y) => vec![c, x, y],
             };
-            let pending: Vec<Term> =
-                deps.into_iter().filter(|d| !self.model_cache.contains_key(d)).collect();
+            let pending: Vec<Term> = deps
+                .into_iter()
+                .filter(|d| !self.model_cache.contains_key(d))
+                .collect();
             if pending.is_empty() {
                 stack.pop();
                 let v = self.model_node(cur);

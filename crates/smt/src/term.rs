@@ -56,7 +56,12 @@ pub(crate) struct TermPool {
 
 impl TermPool {
     pub fn new() -> TermPool {
-        TermPool { ops: Vec::new(), widths: Vec::new(), cons: HashMap::new(), var_counter: 0 }
+        TermPool {
+            ops: Vec::new(),
+            widths: Vec::new(),
+            cons: HashMap::new(),
+            var_counter: 0,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -205,7 +210,11 @@ impl TermPool {
                     return self.ff();
                 }
                 if let (Some(x), Some(y)) = (self.const_of(a), self.const_of(b)) {
-                    return if cmp_bits(x, y).is_lt() { self.tt() } else { self.ff() };
+                    return if cmp_bits(x, y).is_lt() {
+                        self.tt()
+                    } else {
+                        self.ff()
+                    };
                 }
                 self.intern(Op::Ult(a, b), 1)
             }
@@ -215,7 +224,11 @@ impl TermPool {
                     return self.tt();
                 }
                 if let (Some(x), Some(y)) = (self.const_of(a), self.const_of(b)) {
-                    return if !cmp_bits(x, y).is_gt() { self.tt() } else { self.ff() };
+                    return if !cmp_bits(x, y).is_gt() {
+                        self.tt()
+                    } else {
+                        self.ff()
+                    };
                 }
                 self.intern(Op::Ule(a, b), 1)
             }

@@ -4,9 +4,8 @@
 //! `term == value` (SAT with that model pinned) and that asserting
 //! `term != value` under the pinned assignment is UNSAT.
 
-use ph_bits::BitString;
+use ph_bits::{BitString, Rng};
 use ph_smt::{Smt, Term};
-use proptest::prelude::*;
 
 /// A tiny expression AST mirroring the solver ops, with its own evaluator.
 #[derive(Clone, Debug)]
@@ -23,6 +22,7 @@ enum Expr {
 
 const WIDTH: usize = 8;
 const NVARS: usize = 4;
+const CASES: usize = 64;
 
 impl Expr {
     fn eval(&self, env: &[u64]) -> u64 {
@@ -82,40 +82,49 @@ impl Expr {
     }
 }
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0..NVARS).prop_map(Expr::Var),
-        (0u64..256).prop_map(Expr::Const),
-    ];
-    leaf.prop_recursive(5, 64, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|a| Expr::Not(Box::new(a))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, x, y)| Expr::Ite(Box::new(c), Box::new(x), Box::new(y))),
-        ]
-    })
+/// Random expression of depth at most `depth`; leaves are vars and consts.
+fn arb_expr(rng: &mut Rng, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_bool(0.25) {
+        return if rng.gen_bool(0.5) {
+            Expr::Var(rng.gen_range(0..NVARS))
+        } else {
+            Expr::Const(rng.gen_range(0u64..256))
+        };
+    }
+    let d = depth - 1;
+    match rng.gen_range(0..6usize) {
+        0 => Expr::Not(Box::new(arb_expr(rng, d))),
+        1 => Expr::And(Box::new(arb_expr(rng, d)), Box::new(arb_expr(rng, d))),
+        2 => Expr::Or(Box::new(arb_expr(rng, d)), Box::new(arb_expr(rng, d))),
+        3 => Expr::Xor(Box::new(arb_expr(rng, d)), Box::new(arb_expr(rng, d))),
+        4 => Expr::Add(Box::new(arb_expr(rng, d)), Box::new(arb_expr(rng, d))),
+        _ => Expr::Ite(
+            Box::new(arb_expr(rng, d)),
+            Box::new(arb_expr(rng, d)),
+            Box::new(arb_expr(rng, d)),
+        ),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn arb_env(rng: &mut Rng) -> Vec<u64> {
+    (0..NVARS).map(|_| rng.gen_range(0u64..256)).collect()
+}
 
-    /// Pinning the environment makes `expr == interpreted-value` SAT and
-    /// `expr != interpreted-value` UNSAT.
-    #[test]
-    fn solver_agrees_with_interpreter(e in arb_expr(), env in proptest::collection::vec(0u64..256, NVARS)) {
+/// Pinning the environment makes `expr == interpreted-value` SAT and
+/// `expr != interpreted-value` UNSAT.
+#[test]
+fn solver_agrees_with_interpreter() {
+    let mut rng = Rng::seed_from_u64(0xd1ff_0001);
+    for _ in 0..CASES {
+        let e = arb_expr(&mut rng, 5);
+        let env = arb_env(&mut rng);
         let expected = e.eval(&env);
 
         // SAT side: the pinned model satisfies equality.
         let mut smt = Smt::new();
-        let vars: Vec<Term> = (0..NVARS).map(|i| smt.var(&format!("v{i}"), WIDTH as u32)).collect();
+        let vars: Vec<Term> = (0..NVARS)
+            .map(|i| smt.var(&format!("v{i}"), WIDTH as u32))
+            .collect();
         for (v, &val) in vars.iter().zip(&env) {
             let c = smt.const_u64(val & ((1 << WIDTH) - 1), WIDTH as u32);
             let eq = smt.eq(*v, c);
@@ -125,12 +134,14 @@ proptest! {
         let want = smt.const_u64(expected, WIDTH as u32);
         let eq = smt.eq(t, want);
         smt.assert(eq);
-        prop_assert!(smt.check().is_sat());
-        prop_assert_eq!(smt.model_value(t), BitString::from_u64(expected, WIDTH));
+        assert!(smt.check().is_sat(), "expected SAT for {e:?} under {env:?}");
+        assert_eq!(smt.model_value(t), BitString::from_u64(expected, WIDTH));
 
         // UNSAT side: under the same pinned model, disequality contradicts.
         let mut smt = Smt::new();
-        let vars: Vec<Term> = (0..NVARS).map(|i| smt.var(&format!("v{i}"), WIDTH as u32)).collect();
+        let vars: Vec<Term> = (0..NVARS)
+            .map(|i| smt.var(&format!("v{i}"), WIDTH as u32))
+            .collect();
         for (v, &val) in vars.iter().zip(&env) {
             let c = smt.const_u64(val & ((1 << WIDTH) - 1), WIDTH as u32);
             let eq = smt.eq(*v, c);
@@ -140,24 +151,83 @@ proptest! {
         let want = smt.const_u64(expected, WIDTH as u32);
         let ne = smt.ne(t, want);
         smt.assert(ne);
-        prop_assert!(smt.check().is_unsat());
+        assert!(
+            smt.check().is_unsat(),
+            "expected UNSAT for {e:?} under {env:?}"
+        );
     }
+}
 
-    /// Without pinning, `expr == eval(env)` must be satisfiable (the env is
-    /// a witness), and the returned model must actually evaluate correctly
-    /// through the interpreter.
-    #[test]
-    fn models_are_real_witnesses(e in arb_expr(), env in proptest::collection::vec(0u64..256, NVARS)) {
+/// Without pinning, `expr == eval(env)` must be satisfiable (the env is
+/// a witness), and the returned model must actually evaluate correctly
+/// through the interpreter.
+#[test]
+fn models_are_real_witnesses() {
+    let mut rng = Rng::seed_from_u64(0xd1ff_0002);
+    for _ in 0..CASES {
+        let e = arb_expr(&mut rng, 5);
+        let env = arb_env(&mut rng);
         let expected = e.eval(&env);
         let mut smt = Smt::new();
-        let vars: Vec<Term> = (0..NVARS).map(|i| smt.var(&format!("v{i}"), WIDTH as u32)).collect();
+        let vars: Vec<Term> = (0..NVARS)
+            .map(|i| smt.var(&format!("v{i}"), WIDTH as u32))
+            .collect();
         let t = e.lower(&mut smt, &vars);
         let want = smt.const_u64(expected, WIDTH as u32);
         let eq = smt.eq(t, want);
         smt.assert(eq);
-        prop_assert!(smt.check().is_sat());
+        assert!(smt.check().is_sat(), "expected SAT for {e:?}");
         // Evaluate the model through the interpreter.
         let model_env: Vec<u64> = vars.iter().map(|&v| smt.model_u64(v)).collect();
-        prop_assert_eq!(e.eval(&model_env), expected);
+        assert_eq!(e.eval(&model_env), expected, "bogus model for {e:?}");
+    }
+}
+
+/// Pinning via `check_assuming` assumptions must agree with pinning via
+/// asserted equalities: SAT on the equality side, UNSAT on the disequality
+/// side — and the same persistent solver answers both without rebuilding.
+#[test]
+fn assumption_pinning_agrees_with_asserted_pinning() {
+    let mut rng = Rng::seed_from_u64(0xd1ff_0003);
+    for _ in 0..CASES / 2 {
+        let e = arb_expr(&mut rng, 4);
+        let env = arb_env(&mut rng);
+        let expected = e.eval(&env);
+
+        let mut smt = Smt::new();
+        let vars: Vec<Term> = (0..NVARS)
+            .map(|i| smt.var(&format!("v{i}"), WIDTH as u32))
+            .collect();
+        let t = e.lower(&mut smt, &vars);
+        let pins: Vec<Term> = vars
+            .iter()
+            .zip(&env)
+            .map(|(v, &val)| {
+                let c = smt.const_u64(val & ((1 << WIDTH) - 1), WIDTH as u32);
+                smt.eq(*v, c)
+            })
+            .collect();
+        let want = smt.const_u64(expected, WIDTH as u32);
+        let eq = smt.eq(t, want);
+        let ne = smt.ne(t, want);
+
+        // Same solver, three queries: pins + eq is SAT, pins + ne is UNSAT,
+        // and pins + eq is SAT again (assumptions must not stick).
+        let mut sat_pins = pins.clone();
+        sat_pins.push(eq);
+        assert!(
+            smt.check_assuming(&sat_pins).is_sat(),
+            "expected SAT for {e:?}"
+        );
+        let mut unsat_pins = pins.clone();
+        unsat_pins.push(ne);
+        assert!(
+            smt.check_assuming(&unsat_pins).is_unsat(),
+            "expected UNSAT for {e:?}"
+        );
+        assert!(
+            smt.check_assuming(&sat_pins).is_sat(),
+            "assumptions stuck for {e:?}"
+        );
     }
 }

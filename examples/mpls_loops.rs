@@ -11,7 +11,7 @@
 use parserhawk::baseline::compile_ipu;
 use parserhawk::benchmarks::packets::PacketBuilder;
 use parserhawk::benchmarks::suite;
-use parserhawk::core::{OptConfig, Synthesizer, SynthParams};
+use parserhawk::core::{OptConfig, SynthParams, Synthesizer};
 use parserhawk::hw::{run_program, DeviceProfile};
 use parserhawk::ir::simulate;
 use std::time::Duration;
@@ -23,7 +23,10 @@ fn main() {
     // Tofino: loop-aware synthesis.
     let tofino = DeviceProfile::tofino();
     let ph_t = Synthesizer::new(tofino, OptConfig::all())
-        .with_params(SynthParams { timeout: Some(Duration::from_secs(120)), ..Default::default() })
+        .with_params(SynthParams {
+            timeout: Some(Duration::from_secs(120)),
+            ..Default::default()
+        })
         .synthesize(&bench.spec)
         .expect("tofino compiles the loopy spec");
     println!(
@@ -36,7 +39,12 @@ fn main() {
     // IPU vendor compiler: rejects loops.
     let ipu = DeviceProfile::ipu();
     let vendor = compile_ipu(&bench.spec, &ipu);
-    println!("IPU vendor compiler: {}", vendor.map(|_| "ok".into()).unwrap_or_else(|e| format!("{e}")));
+    println!(
+        "IPU vendor compiler: {}",
+        vendor
+            .map(|_| "ok".into())
+            .unwrap_or_else(|e| format!("{e}"))
+    );
 
     // ParserHawk IPU: internal unrolling.
     let ph_i = Synthesizer::new(ipu, OptConfig::all())
@@ -57,8 +65,8 @@ fn main() {
     // End-to-end: a 2-deep MPLS stack (scaled header: 3-bit label + BoS).
     let mut bits = PacketBuilder::new().bits();
     bits = bits.concat(&ph_bits_from(0x8, 4)); // etherType nibble
-    bits = bits.concat(&ph_bits_from(0b010_0, 4)); // label 2, not BoS
-    bits = bits.concat(&ph_bits_from(0b011_1, 4)); // label 3, BoS
+    bits = bits.concat(&ph_bits_from(0b0100, 4)); // label 2, not BoS
+    bits = bits.concat(&ph_bits_from(0b0111, 4)); // label 3, BoS
     bits = bits.concat(&ph_bits_from(0x4, 4)); // IPv4 version nibble
 
     let want = simulate(&bench.spec, &bits, 32);

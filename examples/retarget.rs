@@ -14,7 +14,11 @@ use parserhawk::hw::DeviceProfile;
 
 fn main() {
     let bench = suite::sai_v1();
-    println!("Benchmark: {} ({} spec states)\n", bench.name, bench.spec.states.len());
+    println!(
+        "Benchmark: {} ({} spec states)\n",
+        bench.name,
+        bench.spec.states.len()
+    );
 
     for device in [DeviceProfile::tofino(), DeviceProfile::ipu()] {
         println!("=== target: {} ({:?}) ===", device.name, device.arch);

@@ -17,15 +17,24 @@ fn main() {
     let base = suite::parse_ethernet();
     let variants: Vec<(&str, ParserSpec)> = vec![
         ("original", base.spec.clone()),
-        ("+R1 (redundant entries)", rewrite::r1_add_redundant(&base.spec)),
-        ("+R2 (unreachable entries)", rewrite::r2_add_unreachable(&base.spec)),
+        (
+            "+R1 (redundant entries)",
+            rewrite::r1_add_redundant(&base.spec),
+        ),
+        (
+            "+R2 (unreachable entries)",
+            rewrite::r2_add_unreachable(&base.spec),
+        ),
         ("+R3 (split entries)", rewrite::r3_split_entries(&base.spec)),
         ("+R5 (split states)", rewrite::r5_split_states(&base.spec)),
     ];
 
     let device = DeviceProfile::tofino();
     println!("Benchmark: {} on {}\n", base.name, device.name);
-    println!("{:<28} | {:>16} | {:>16}", "variant", "ParserHawk #TCAM", "baseline #TCAM");
+    println!(
+        "{:<28} | {:>16} | {:>16}",
+        "variant", "ParserHawk #TCAM", "baseline #TCAM"
+    );
 
     let mut ph_counts = Vec::new();
     for (name, spec) in &variants {
@@ -37,7 +46,12 @@ fn main() {
             Ok(p) => p.entry_count().to_string(),
             Err(e) => format!("REJECTED: {e}"),
         };
-        println!("{:<28} | {:>16} | {:>16}", name, ph.program.entry_count(), bl);
+        println!(
+            "{:<28} | {:>16} | {:>16}",
+            name,
+            ph.program.entry_count(),
+            bl
+        );
     }
 
     let min = ph_counts.iter().min().unwrap();
@@ -45,6 +59,10 @@ fn main() {
     println!(
         "\nParserHawk entry counts across all rewrites: min {min}, max {max} — \
          the §7.2 invariance claim {}",
-        if min == max { "holds exactly" } else { "holds within post-optimization noise" }
+        if min == max {
+            "holds exactly"
+        } else {
+            "holds within post-optimization noise"
+        }
     );
 }

@@ -12,7 +12,10 @@ use parserhawk::p4f::parse_parser;
 use std::time::Duration;
 
 fn params(secs: u64) -> SynthParams {
-    SynthParams { timeout: Some(Duration::from_secs(secs)), ..Default::default() }
+    SynthParams {
+        timeout: Some(Duration::from_secs(secs)),
+        ..Default::default()
+    }
 }
 
 /// Table 1 / Fig. 7: both example specs synthesize, and the outputs agree
@@ -71,7 +74,11 @@ fn registry_cases_compile_for_tofino_and_beat_baseline() {
             .with_params(params(90))
             .synthesize(&case.spec)
             .unwrap_or_else(|e| panic!("{}: {e}", case.name));
-        assert!(check_program(&out.program, &case.spec.fields).is_empty(), "{}", case.name);
+        assert!(
+            check_program(&out.program, &case.spec.fields).is_empty(),
+            "{}",
+            case.name
+        );
         check_program_against_spec(&case.spec, &out.program, 7, 300)
             .unwrap_or_else(|e| panic!("{}: {e}", case.name));
         if let Ok(bl) = compile_tofino(&case.spec, &device) {
@@ -110,7 +117,10 @@ fn parserhawk_is_invariant_to_rewrites() {
                 .entry_count()
         })
         .collect();
-    assert!(counts.windows(2).all(|w| w[0] == w[1]), "counts varied: {counts:?}");
+    assert!(
+        counts.windows(2).all(|w| w[0] == w[1]),
+        "counts varied: {counts:?}"
+    );
 }
 
 /// The baselines' documented failure modes fire on the right inputs.
