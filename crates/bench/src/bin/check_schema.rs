@@ -1,0 +1,223 @@
+//! Validates machine-readable benchmark artifacts.
+//!
+//! ```text
+//! cargo run -p ph-bench --bin check_schema -- results/table3.json trace.jsonl
+//! ```
+//!
+//! Two file kinds, told apart by extension:
+//!
+//! * `.json` — a `results/table*.json` document: must parse, carry
+//!   `schema_version` 1, a `table` name, git provenance, and a `rows`
+//!   array; every embedded `stats` object must carry the per-phase timings
+//!   and both SAT-counter blocks.
+//! * `.jsonl` — a `PH_TRACE` trace: every line must parse as one JSON
+//!   object with a `t_ns` stamp, stamps must be monotone non-decreasing,
+//!   and span enter/exit events must balance (every exit matches an open
+//!   enter of the same name; nothing left open at the end).
+//!
+//! Exits non-zero with a per-file diagnostic on the first violation, so CI
+//! can gate on it.
+
+use ph_bench::report::SCHEMA_VERSION;
+use ph_obs::Json;
+use std::collections::HashMap;
+
+fn fail(file: &str, msg: String) -> ! {
+    eprintln!("check_schema: {file}: {msg}");
+    std::process::exit(1);
+}
+
+/// Required keys of a `stats` payload (`SynthStats::to_json`).
+const STAT_KEYS: &[&str] = &[
+    "search_space_bits",
+    "cegis_iterations",
+    "counterexamples",
+    "verify_checks",
+    "shrink_trials",
+    "synth_time_s",
+    "verify_time_s",
+    "shrink_time_s",
+    "wall_s",
+    "max_verify_conflicts",
+];
+
+/// Required keys of each embedded `SolverStats` block.
+const SAT_KEYS: &[&str] = &[
+    "conflicts",
+    "decisions",
+    "propagations",
+    "restarts",
+    "clauses_added",
+];
+
+/// Walks the document and validates every object that appears under a
+/// `stats` key.  Returns how many stats payloads were seen.
+fn check_stats(file: &str, v: &Json) -> usize {
+    let mut seen = 0;
+    if let Some(fields) = v.as_obj() {
+        for (k, child) in fields {
+            if k == "stats" && child.as_obj().is_some() {
+                seen += 1;
+                for key in STAT_KEYS {
+                    if child.get(key).is_none() {
+                        fail(file, format!("stats payload missing key {key:?}"));
+                    }
+                }
+                for block in ["synth_sat", "verify_sat"] {
+                    let Some(sat) = child.get(block) else {
+                        fail(file, format!("stats payload missing block {block:?}"));
+                    };
+                    for key in SAT_KEYS {
+                        if sat.get(key).and_then(Json::as_i64).is_none() {
+                            fail(file, format!("{block}.{key} missing or not an integer"));
+                        }
+                    }
+                }
+            }
+            seen += check_stats(file, child);
+        }
+    } else if let Some(items) = v.as_arr() {
+        for item in items {
+            seen += check_stats(file, item);
+        }
+    }
+    seen
+}
+
+fn check_results(file: &str, text: &str) {
+    let doc = match Json::parse(text) {
+        Ok(d) => d,
+        Err(e) => fail(file, format!("not valid JSON: {e}")),
+    };
+    match doc.get("schema_version").and_then(Json::as_i64) {
+        Some(v) if v == SCHEMA_VERSION => {}
+        Some(v) => fail(
+            file,
+            format!("schema_version {v}, expected {SCHEMA_VERSION}"),
+        ),
+        None => fail(file, "missing schema_version".into()),
+    }
+    for key in ["table", "git"] {
+        if doc.get(key).and_then(Json::as_str).is_none() {
+            fail(file, format!("missing string field {key:?}"));
+        }
+    }
+    if doc.get("generated_unix").and_then(Json::as_i64).is_none() {
+        fail(file, "missing integer field \"generated_unix\"".into());
+    }
+    let Some(rows) = doc.get("rows").and_then(Json::as_arr) else {
+        fail(file, "missing array field \"rows\"".into());
+    };
+    for (i, row) in rows.iter().enumerate() {
+        if row.get("name").and_then(Json::as_str).is_none() {
+            fail(file, format!("row {i} has no \"name\""));
+        }
+    }
+    let stats = check_stats(file, &doc);
+    println!(
+        "check_schema: {file}: ok ({} rows, {stats} stats payloads)",
+        rows.len()
+    );
+}
+
+fn check_trace(file: &str, text: &str) {
+    let mut last_t = 0u64;
+    // Open spans: id -> name.
+    let mut open: HashMap<i64, String> = HashMap::new();
+    let mut events = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = match Json::parse(line) {
+            Ok(v) => v,
+            Err(e) => fail(file, format!("line {n}: not valid JSON: {e}")),
+        };
+        events += 1;
+        let Some(t) = ev.get("t_ns").and_then(Json::as_i64) else {
+            fail(file, format!("line {n}: missing t_ns"));
+        };
+        if (t as u64) < last_t {
+            fail(
+                file,
+                format!("line {n}: t_ns {t} goes backwards (previous {last_t})"),
+            );
+        }
+        last_t = t as u64;
+        let Some(kind) = ev.get("ev").and_then(Json::as_str) else {
+            fail(file, format!("line {n}: missing ev"));
+        };
+        match kind {
+            "enter" => {
+                let (Some(id), Some(span)) = (
+                    ev.get("id").and_then(Json::as_i64),
+                    ev.get("span").and_then(Json::as_str),
+                ) else {
+                    fail(file, format!("line {n}: enter without id/span"));
+                };
+                if open.insert(id, span.to_string()).is_some() {
+                    fail(file, format!("line {n}: span id {id} entered twice"));
+                }
+            }
+            "exit" => {
+                let (Some(id), Some(span)) = (
+                    ev.get("id").and_then(Json::as_i64),
+                    ev.get("span").and_then(Json::as_str),
+                ) else {
+                    fail(file, format!("line {n}: exit without id/span"));
+                };
+                match open.remove(&id) {
+                    Some(entered) if entered == span => {}
+                    Some(entered) => fail(
+                        file,
+                        format!("line {n}: exit of {span:?} closes span entered as {entered:?}"),
+                    ),
+                    None => fail(
+                        file,
+                        format!("line {n}: exit of {span:?} was never entered"),
+                    ),
+                }
+            }
+            "count" | "gauge" => {
+                if ev.get("name").and_then(Json::as_str).is_none() {
+                    fail(file, format!("line {n}: {kind} without name"));
+                }
+            }
+            "msg" => {
+                if ev.get("text").and_then(Json::as_str).is_none() {
+                    fail(file, format!("line {n}: msg without text"));
+                }
+            }
+            other => fail(file, format!("line {n}: unknown ev {other:?}")),
+        }
+    }
+    if !open.is_empty() {
+        let mut names: Vec<&str> = open.values().map(String::as_str).collect();
+        names.sort_unstable();
+        fail(
+            file,
+            format!("{} spans never exited: {names:?}", open.len()),
+        );
+    }
+    println!("check_schema: {file}: ok ({events} events, monotone, balanced)");
+}
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: check_schema <results.json | trace.jsonl> ...");
+        std::process::exit(2);
+    }
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => fail(file, format!("cannot read: {e}")),
+        };
+        if file.ends_with(".jsonl") {
+            check_trace(file, &text);
+        } else {
+            check_results(file, &text);
+        }
+    }
+}

@@ -10,10 +10,18 @@
 //! `PH_OPT_TIMEOUT_SECS` / `PH_ORIG_TIMEOUT_SECS` adjust budgets; the naive
 //! column prints `>N` on timeout like the paper's `>86400` cells.
 //! `PH_TABLE3_FILTER=MPLS` restricts rows by substring.
+//!
+//! Besides the stdout table, a machine-readable
+//! `results/table3.json` (see [`ph_bench::report`]) records every run with
+//! its full per-phase timings and SAT counters.  `PH_TRACE=<path>` streams
+//! a JSON-lines trace of the underlying synthesis runs.
 
-use ph_bench::{baseline_ipu, baseline_tofino, env_secs, geomean, run_parserhawk, short_failure};
+use ph_bench::{
+    baseline_ipu, baseline_tofino, env_secs, geomean, report, run_parserhawk, short_failure,
+};
 use ph_core::OptConfig;
 use ph_hw::DeviceProfile;
+use ph_obs::{Json, Level};
 
 fn main() {
     let opt_budget = env_secs("PH_OPT_TIMEOUT_SECS", 30);
@@ -50,11 +58,14 @@ fn main() {
     let mut baseline_worse = 0usize;
     let mut total_cases = 0usize;
     let mut ph_failures = 0usize;
+    let mut rows_json: Vec<Json> = Vec::new();
+    let tracer = ph_obs::current();
 
     for case in ph_benchmarks::registry() {
         if !filter.is_empty() && !case.name.contains(&filter) {
             continue;
         }
+        tracer.msg_with(Level::Info, || format!("table3: running {}", case.name));
 
         // --- Tofino side -------------------------------------------------
         let ph_t = run_parserhawk(&case.spec, &tofino, OptConfig::all(), opt_budget);
@@ -65,6 +76,25 @@ fn main() {
         let ph_i = run_parserhawk(&case.spec, &ipu, OptConfig::all(), opt_budget);
         let orig_i = run_parserhawk(&case.spec, &ipu, OptConfig::none(), orig_budget);
         let bl_i = baseline_ipu(&case.spec, &ipu);
+
+        rows_json.push(
+            Json::obj()
+                .with("name", case.name.as_str())
+                .with(
+                    "tofino",
+                    Json::obj()
+                        .with("opt", report::run_json(&ph_t, opt_budget))
+                        .with("orig", report::run_json(&orig_t, orig_budget))
+                        .with("baseline", report::run_json(&bl_t, opt_budget)),
+                )
+                .with(
+                    "ipu",
+                    Json::obj()
+                        .with("opt", report::run_json(&ph_i, opt_budget))
+                        .with("orig", report::run_json(&orig_i, orig_budget))
+                        .with("baseline", report::run_json(&bl_i, opt_budget)),
+                ),
+        );
 
         for (opt, orig) in [(&ph_t, &orig_t), (&ph_i, &orig_i)] {
             total_cases += 1;
@@ -164,4 +194,26 @@ fn main() {
         "  (paper: 309.44x geometric mean with a 24 h Orig budget; shorter budgets\n   \
          truncate the observable speed-up, so the printed value is a lower bound)"
     );
+
+    let doc = report::metadata("table3")
+        .with("opt_timeout_s", opt_budget.as_secs())
+        .with("orig_timeout_s", orig_budget.as_secs())
+        .with("filter", filter.as_str())
+        .with("rows", Json::Arr(rows_json))
+        .with(
+            "summary",
+            Json::obj()
+                .with("total_cases", total_cases)
+                .with("ph_failures", ph_failures)
+                .with("baseline_rejects", baseline_rejects)
+                .with("baseline_worse", baseline_worse)
+                .with("measured_pairs", speedups.len())
+                .with("geomean_speedup", g)
+                .with("geomean_is_lower_bound", lb),
+        );
+    match report::write_results("table3", &doc) {
+        Ok(path) => println!("\nstructured results: {}", path.display()),
+        Err(e) => eprintln!("failed to write results file: {e}"),
+    }
+    tracer.flush();
 }

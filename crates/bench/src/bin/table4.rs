@@ -5,13 +5,16 @@
 //! cargo run -p ph-bench --release --bin table4
 //! ```
 
-use ph_bench::{baseline_dp, env_secs, run_parserhawk, short_failure};
+use ph_bench::{baseline_dp, env_secs, report, run_parserhawk, short_failure};
 use ph_benchmarks::registry::motivating_examples;
 use ph_core::OptConfig;
 use ph_hw::DeviceProfile;
+use ph_obs::{Json, Level};
 
 fn main() {
     let budget = env_secs("PH_OPT_TIMEOUT_SECS", 30);
+    let tracer = ph_obs::current();
+    let mut rows_json: Vec<Json> = Vec::new();
 
     // (row label, case name, device) — key width / lookahead window /
     // extraction limit per the paper's parameterized-hardware column.
@@ -55,8 +58,16 @@ fn main() {
     let cases = motivating_examples();
     for (label, name, device) in rows {
         let case = cases.iter().find(|c| c.name == name).expect("case");
+        tracer.msg_with(Level::Info, || format!("table4: running {label}"));
         let ph = run_parserhawk(&case.spec, &device, OptConfig::all(), budget);
         let dp = baseline_dp(&case.spec, &device);
+        rows_json.push(
+            Json::obj()
+                .with("name", label)
+                .with("case", name)
+                .with("parserhawk", report::run_json(&ph, budget))
+                .with("dpparsergen", report::run_json(&dp, budget)),
+        );
         println!(
             "{:<48} | {:>16} | {:>16}",
             label,
@@ -76,4 +87,13 @@ fn main() {
         "\nExpected shape (paper): ParserHawk <= DPParserGen everywhere, with the\n\
          largest gaps on ME-2 at 8-bit keys (splitting) and ME-3 (redundancy)."
     );
+
+    let doc = report::metadata("table4")
+        .with("opt_timeout_s", budget.as_secs())
+        .with("rows", Json::Arr(rows_json));
+    match report::write_results("table4", &doc) {
+        Ok(path) => println!("\nstructured results: {}", path.display()),
+        Err(e) => eprintln!("failed to write results file: {e}"),
+    }
+    tracer.flush();
 }

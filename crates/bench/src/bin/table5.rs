@@ -6,13 +6,16 @@
 //! cargo run -p ph-bench --release --bin table5
 //! ```
 
-use ph_bench::{env_secs, run_parserhawk};
+use ph_bench::{env_secs, report, run_parserhawk};
 use ph_benchmarks::suite;
 use ph_core::OptConfig;
 use ph_hw::DeviceProfile;
+use ph_obs::{Json, Level};
 
 fn main() {
     let budget = env_secs("PH_ABLATION_TIMEOUT_SECS", 60);
+    let tracer = ph_obs::current();
+    let mut rows_json: Vec<Json> = Vec::new();
     let benches = vec![suite::sai_v1(), suite::dash_v1(), suite::large_tran_key()];
     let configs = [
         ("Other OPT", OptConfig::without_opt45()),
@@ -29,12 +32,23 @@ fn main() {
 
     for b in &benches {
         let mut cells = Vec::new();
-        for dev in [DeviceProfile::tofino(), DeviceProfile::ipu()] {
-            for (_, opts) in configs {
+        let mut row = Json::obj().with("name", b.name);
+        for (dev_name, dev) in [
+            ("tofino", DeviceProfile::tofino()),
+            ("ipu", DeviceProfile::ipu()),
+        ] {
+            let mut dev_json = Json::obj();
+            for (cfg_name, opts) in configs {
+                tracer.msg_with(Level::Info, || {
+                    format!("table5: {} / {dev_name} / {cfg_name}", b.name)
+                });
                 let r = run_parserhawk(&b.spec, &dev, opts, budget);
                 cells.push(r.time_cell(budget));
+                dev_json = dev_json.with(cfg_name, report::run_json(&r, budget));
             }
+            row = row.with(dev_name, dev_json);
         }
+        rows_json.push(row);
         println!(
             "{:<18} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}",
             b.name, cells[0], cells[1], cells[2], cells[3], cells[4], cells[5]
@@ -44,4 +58,13 @@ fn main() {
         "\nExpected shape (paper): each of Opt4 and Opt5 contributes roughly an\n\
          order of magnitude, so columns shrink left to right on both devices."
     );
+
+    let doc = report::metadata("table5")
+        .with("ablation_timeout_s", budget.as_secs())
+        .with("rows", Json::Arr(rows_json));
+    match report::write_results("table5", &doc) {
+        Ok(path) => println!("\nstructured results: {}", path.display()),
+        Err(e) => eprintln!("failed to write results file: {e}"),
+    }
+    tracer.flush();
 }

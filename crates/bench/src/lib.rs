@@ -13,9 +13,10 @@
 //!   like the paper's `>86400` rows).
 
 pub mod harness;
+pub mod report;
 
 use ph_baseline::{compile_dp, compile_ipu, compile_tofino};
-use ph_core::{OptConfig, SynthError, SynthParams, Synthesizer};
+use ph_core::{OptConfig, SynthError, SynthParams, SynthStats, Synthesizer};
 use ph_hw::DeviceProfile;
 use ph_ir::ParserSpec;
 use std::time::{Duration, Instant};
@@ -35,6 +36,9 @@ pub struct RunResult {
     pub timed_out: bool,
     /// Failure annotation (baseline rejects, infeasible, ...).
     pub failure: Option<String>,
+    /// Full synthesis statistics (ParserHawk runs that finished or timed
+    /// out; `None` for baseline compilers and hard failures).
+    pub stats: Option<SynthStats>,
 }
 
 impl RunResult {
@@ -85,6 +89,7 @@ pub fn run_parserhawk(
             time,
             timed_out: false,
             failure: None,
+            stats: Some(out.stats),
         },
         Err(SynthError::Timeout(stats)) => RunResult {
             entries: None,
@@ -93,6 +98,7 @@ pub fn run_parserhawk(
             time,
             timed_out: true,
             failure: None,
+            stats: Some(*stats),
         },
         Err(e) => RunResult {
             entries: None,
@@ -101,6 +107,7 @@ pub fn run_parserhawk(
             time,
             timed_out: false,
             failure: Some(e.to_string()),
+            stats: None,
         },
     }
 }
@@ -119,6 +126,7 @@ where
             time: t0.elapsed(),
             timed_out: false,
             failure: None,
+            stats: None,
         },
         Err(e) => RunResult {
             entries: None,
@@ -127,6 +135,7 @@ where
             time: t0.elapsed(),
             timed_out: false,
             failure: Some(e.to_string()),
+            stats: None,
         },
     }
 }

@@ -26,6 +26,7 @@ use crate::{OptConfig, SynthError, SynthOutput, SynthParams, SynthStats};
 use ph_bits::{BitString, Rng};
 use ph_hw::DeviceProfile;
 use ph_ir::{analysis, NextState, ParseStatus, ParserSpec, StateId};
+use ph_obs::Level;
 use ph_smt::{Smt, SmtResult, Term};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -146,6 +147,13 @@ pub fn synthesize_one(
     mode: LoopMode,
     interrupt: Option<Arc<AtomicBool>>,
 ) -> Result<SynthOutput, SynthError> {
+    let _tracer_guard = params
+        .tracer
+        .as_ref()
+        .map(|t| ph_obs::set_thread_tracer(t.clone()));
+    let tracer = ph_obs::current();
+    let _run_span = tracer.span("synth.run");
+
     let t0 = Instant::now();
     let flag = interrupt.unwrap_or_else(|| Arc::new(AtomicBool::new(false)));
     let deadline = params.timeout.map(|d| t0 + d);
@@ -175,11 +183,23 @@ pub fn synthesize_one(
         spec.clone()
     };
 
-    let reduced = reduce_spec(&working_spec, opts).map_err(SynthError::Unsupported)?;
+    tracer.msg_with(Level::Debug, || {
+        format!(
+            "synthesis starts: {} spec states, loopy={loopy}",
+            working_spec.states.len()
+        )
+    });
+    let reduced = {
+        let _s = tracer.span("synth.reduce");
+        reduce_spec(&working_spec, opts).map_err(SynthError::Unsupported)?
+    };
     let bounds =
         compute_bounds(&reduced.spec, params.max_loop_iters).map_err(SynthError::Unsupported)?;
-    let shape = build_shape(&reduced, device, opts, loopy, params.spare_states)
-        .map_err(SynthError::Unsupported)?;
+    let shape = {
+        let _s = tracer.span("synth.skeleton");
+        build_shape(&reduced, device, opts, loopy, params.spare_states)
+            .map_err(SynthError::Unsupported)?
+    };
 
     run_cegis(
         &working_spec,
@@ -204,6 +224,7 @@ fn run_cegis(
     flag: Arc<AtomicBool>,
     t0: Instant,
 ) -> Result<SynthOutput, SynthError> {
+    let tracer = ph_obs::current();
     let mut stats = SynthStats::default();
     let mut rng = Rng::seed_from_u64(params.seed);
     let l = bounds.input_bits.max(1);
@@ -214,6 +235,7 @@ fn run_cegis(
     smt.set_interrupt(Some(flag.clone()));
     let vars = build_vars(&mut smt, shape, device);
     stats.search_space_bits = vars.search_space_bits;
+    tracer.gauge("cegis.search_space_bits", vars.search_space_bits as u64);
 
     // Persistent verification engine: the spec-path formula and the symbolic
     // implementation are encoded exactly once; every candidate (and every
@@ -291,6 +313,12 @@ fn run_cegis(
 
     'outer: loop {
         stats.budget_levels += 1;
+        tracer.msg_with(Level::Debug, || {
+            format!(
+                "budget level {} (stage cap {stage_cap:?}, entry cap {entry_cap:?})",
+                stats.budget_levels
+            )
+        });
         let mut assumptions: Vec<Term> = Vec::new();
         if let Some(b) = stage_cap {
             let stages = vars.stage.as_ref().expect("pipelined device has stages");
@@ -308,12 +336,18 @@ fn run_cegis(
         // Inner CEGIS at this budget.
         for _iter in 0..params.max_cegis_iters {
             if flag.load(Ordering::Relaxed) {
+                tracer.msg(Level::Debug, "interrupted mid-descent");
                 stats.wall = t0.elapsed();
+                stats.synth_sat = smt.solver_stats();
+                stats.verify_sat = verifier.solver_stats();
                 return finish_or_timeout(best, shape, orig_spec, device, params, stats);
             }
             stats.cegis_iterations += 1;
             let ts = Instant::now();
-            let synth_result = smt.check_assuming(&assumptions);
+            let synth_result = {
+                let _s = tracer.span("cegis.synth");
+                smt.check_assuming(&assumptions)
+            };
             stats.synth_time += ts.elapsed();
             match synth_result {
                 SmtResult::Unsat => {
@@ -342,17 +376,32 @@ fn run_cegis(
 
             // Verification phase: one incremental check under assumptions.
             let tv = Instant::now();
-            let verdict = verifier.verify(&candidate);
+            let sat_before = verifier.solver_stats();
+            let verdict = {
+                let _s = tracer.span("cegis.verify");
+                verifier.verify(&candidate)
+            };
             stats.verify_checks += 1;
             stats.verify_time += tv.elapsed();
+            // Per-query solver effort: the delta this one check cost.
+            let d = verifier.solver_stats().delta_since(sat_before);
+            stats.max_verify_conflicts = stats.max_verify_conflicts.max(d.conflicts);
+            if tracer.enabled() {
+                tracer.count("verify.conflicts", d.conflicts);
+                tracer.count("verify.decisions", d.decisions);
+                tracer.count("verify.propagations", d.propagations);
+            }
             match verdict {
                 Verdict::Unknown => {
                     break 'outer;
                 }
                 Verdict::Counterexample(cex) => {
+                    stats.counterexamples += 1;
+                    tracer.count("cegis.cex", 1);
                     add_test(&mut smt, &cex, &mut stats);
                 }
                 Verdict::Verified => {
+                    tracer.count("cegis.verified", 1);
                     // Verified: record and tighten the active budget.
                     match phase {
                         MinPhase::Stages => {
@@ -392,6 +441,17 @@ fn run_cegis(
     }
 
     stats.wall = t0.elapsed();
+    stats.synth_sat = smt.solver_stats();
+    stats.verify_sat = verifier.solver_stats();
+    tracer.msg_with(Level::Info, || {
+        format!(
+            "cegis done: {} iterations, {} test cases, {} budget levels in {:.3}s",
+            stats.cegis_iterations,
+            stats.test_cases,
+            stats.budget_levels,
+            stats.wall.as_secs_f64()
+        )
+    });
     finish_or_timeout(best, shape, orig_spec, device, params, stats)
 }
 
@@ -438,6 +498,8 @@ impl<'a> IncrementalVerifier<'a> {
         k_spec: usize,
         flag: &Arc<AtomicBool>,
     ) -> Result<Self, SynthError> {
+        let tracer = ph_obs::current();
+        let _s = tracer.span("verify.encode");
         let mut smt = Smt::new();
         smt.set_interrupt(Some(flag.clone()));
         let input = smt.var("I", l as u32);
@@ -457,12 +519,21 @@ impl<'a> IncrementalVerifier<'a> {
             shape.ooi_code() as u64,
         );
         smt.assert(bad);
+        tracer.gauge("verify.encode.sat_vars", smt.num_sat_vars() as u64);
+        tracer.gauge("verify.encode.terms", smt.num_terms() as u64);
         Ok(IncrementalVerifier {
             shape,
             smt,
             input,
             skel,
         })
+    }
+
+    /// The persistent verification solver's cumulative search statistics;
+    /// snapshot around [`IncrementalVerifier::verify`] and use
+    /// [`ph_sat::SolverStats::delta_since`] for the per-query cost.
+    pub fn solver_stats(&self) -> ph_sat::SolverStats {
+        self.smt.solver_stats()
     }
 
     /// Checks one candidate: UNSAT under the pin assumptions means no input
@@ -526,6 +597,8 @@ fn shrink_masks(
     flag: &Arc<AtomicBool>,
     stats: &mut SynthStats,
 ) -> ConcreteSkel {
+    let tracer = ph_obs::current();
+    let _span = tracer.span("cegis.shrink");
     for s in 0..conc.entries.len() {
         for j in 0..conc.entries[s].len() {
             if conc.entries[s][j].mask.count_ones() == 0 {
@@ -538,10 +611,19 @@ fn shrink_masks(
             trial.entries[s][j].mask = BitString::zeros(shape.canon_width);
             trial.entries[s][j].value = BitString::zeros(shape.canon_width);
             let tv = Instant::now();
+            let sat_before = verifier.solver_stats();
             let verdict = verifier.verify(&trial);
             stats.verify_checks += 1;
-            stats.verify_time += tv.elapsed();
+            stats.shrink_trials += 1;
+            stats.shrink_time += tv.elapsed();
+            tracer.count("shrink.trials", 1);
+            if tracer.enabled() {
+                let d = verifier.solver_stats().delta_since(sat_before);
+                tracer.count("shrink.conflicts", d.conflicts);
+            }
             if verdict == Verdict::Verified {
+                stats.shrink_accepted += 1;
+                tracer.count("shrink.accepted", 1);
                 conc = trial;
             }
         }
@@ -570,7 +652,7 @@ fn finish_or_timeout(
     stats: SynthStats,
 ) -> Result<SynthOutput, SynthError> {
     let Some(conc) = best else {
-        return Err(SynthError::Timeout(stats));
+        return Err(SynthError::Timeout(Box::new(stats)));
     };
     let mut program = skeleton::to_program(shape, &conc, device);
     post::optimize(&mut program, device, &orig_spec.fields);

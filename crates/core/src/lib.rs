@@ -42,6 +42,8 @@ pub mod validate;
 
 use ph_hw::{DeviceProfile, TcamProgram};
 use ph_ir::ParserSpec;
+use ph_obs::Json;
+use ph_sat::SolverStats;
 use std::fmt;
 use std::time::Duration;
 
@@ -127,6 +129,11 @@ pub struct SynthParams {
     pub spare_states: Option<usize>,
     /// Random seed for initial test-case generation.
     pub seed: u64,
+    /// Run-scoped tracer.  `Some` installs the tracer as the thread tracer
+    /// for the run's duration (Opt7 race branches derive per-branch
+    /// streams from it); `None` inherits the ambient [`ph_obs::current`]
+    /// tracer, which defaults to the `PH_TRACE` environment configuration.
+    pub tracer: Option<ph_obs::Tracer>,
 }
 
 impl Default for SynthParams {
@@ -137,6 +144,7 @@ impl Default for SynthParams {
             max_loop_iters: 8,
             spare_states: None,
             seed: 0x9aa5,
+            tracer: None,
         }
     }
 }
@@ -151,6 +159,9 @@ pub struct SynthStats {
     pub cegis_iterations: usize,
     /// Test cases accumulated.
     pub test_cases: usize,
+    /// Counterexamples returned by verification (a subset of
+    /// [`SynthStats::test_cases`]; the rest are the initial samples).
+    pub counterexamples: usize,
     /// Budget levels explored during minimization.
     pub budget_levels: usize,
     /// Verification solver instances constructed.  With the incremental
@@ -159,12 +170,63 @@ pub struct SynthStats {
     pub verify_solver_builds: usize,
     /// Verification queries issued (candidate checks + mask-shrink trials).
     pub verify_checks: usize,
+    /// Mask-shrinking trials attempted after the descent.
+    pub shrink_trials: usize,
+    /// Mask-shrinking trials that verified and were kept.
+    pub shrink_accepted: usize,
     /// Wall-clock time inside synthesis-phase solver checks.
     pub synth_time: Duration,
-    /// Wall-clock time inside verification (encoding + queries).
+    /// Wall-clock time inside verification (encoding + candidate queries;
+    /// mask-shrinking queries are accounted under
+    /// [`SynthStats::shrink_time`]).
     pub verify_time: Duration,
+    /// Wall-clock time inside the mask-shrinking pass.
+    pub shrink_time: Duration,
     /// Wall-clock time spent.
     pub wall: Duration,
+    /// CDCL effort of the synthesis-phase solver (cumulative totals; the
+    /// per-query deltas stream out as `smt.*` / `verify.*` trace counters).
+    pub synth_sat: SolverStats,
+    /// CDCL effort of the persistent verification solver.
+    pub verify_sat: SolverStats,
+    /// The most conflicts any single verification query needed — the
+    /// worst-case incremental `check_assuming` cost.
+    pub max_verify_conflicts: u64,
+}
+
+/// [`SolverStats`] as a JSON object.
+fn solver_stats_json(s: &SolverStats) -> Json {
+    Json::obj()
+        .with("conflicts", s.conflicts)
+        .with("decisions", s.decisions)
+        .with("propagations", s.propagations)
+        .with("restarts", s.restarts)
+        .with("learnts", s.learnts)
+        .with("clauses_added", s.clauses_added)
+}
+
+impl SynthStats {
+    /// The run statistics as a JSON object — the per-spec payload of the
+    /// machine-readable benchmark results (`results/table*.json`).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("search_space_bits", self.search_space_bits)
+            .with("cegis_iterations", self.cegis_iterations)
+            .with("test_cases", self.test_cases)
+            .with("counterexamples", self.counterexamples)
+            .with("budget_levels", self.budget_levels)
+            .with("verify_solver_builds", self.verify_solver_builds)
+            .with("verify_checks", self.verify_checks)
+            .with("shrink_trials", self.shrink_trials)
+            .with("shrink_accepted", self.shrink_accepted)
+            .with("synth_time_s", self.synth_time.as_secs_f64())
+            .with("verify_time_s", self.verify_time.as_secs_f64())
+            .with("shrink_time_s", self.shrink_time.as_secs_f64())
+            .with("wall_s", self.wall.as_secs_f64())
+            .with("synth_sat", solver_stats_json(&self.synth_sat))
+            .with("verify_sat", solver_stats_json(&self.verify_sat))
+            .with("max_verify_conflicts", self.max_verify_conflicts)
+    }
 }
 
 /// A successful synthesis result.
@@ -181,8 +243,10 @@ pub struct SynthOutput {
 pub enum SynthError {
     /// No implementation exists within the device's resources.
     Infeasible(String),
-    /// The wall-clock budget expired before a verdict.
-    Timeout(SynthStats),
+    /// The wall-clock budget expired before a verdict.  Boxed: a
+    /// [`SynthStats`] (two embedded [`SolverStats`]) would otherwise
+    /// dominate every `Result`'s size.
+    Timeout(Box<SynthStats>),
     /// The specification uses a feature outside the supported fragment.
     Unsupported(String),
     /// The synthesized program failed final validation (an engine bug —
@@ -251,6 +315,13 @@ impl Synthesizer {
     ///
     /// See [`SynthError`].
     pub fn synthesize(&self, spec: &ParserSpec) -> Result<SynthOutput, SynthError> {
+        let _tracer_guard = self
+            .params
+            .tracer
+            .as_ref()
+            .map(|t| ph_obs::set_thread_tracer(t.clone()));
+        let tracer = ph_obs::current();
+        let _span = tracer.span("synth.total");
         spec.validate()
             .map_err(|e| SynthError::Unsupported(e.to_string()))?;
         if self.opts.opt7_parallel {

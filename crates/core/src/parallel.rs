@@ -15,6 +15,7 @@ use crate::cegis::{synthesize_one, LoopMode};
 use crate::{OptConfig, SynthError, SynthOutput, SynthParams};
 use ph_hw::DeviceProfile;
 use ph_ir::{analysis, ParserSpec};
+use ph_obs::Level;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -50,49 +51,100 @@ pub fn synthesize_racing(
     let flag_free = Arc::new(AtomicBool::new(false));
     let flag_loopy = Arc::new(AtomicBool::new(false));
 
+    // The race tracer: the run-scoped one when set, else the ambient one.
+    // Each branch derives a tagged stream from it, so one shared sink keeps
+    // the winner/loser breakdown distinguishable.
+    let base_tracer = params.tracer.clone().unwrap_or_else(ph_obs::current);
+    let race_span = base_tracer.span("race.run");
+
     // Run one branch per thread; as soon as a branch verifies a result it
     // trips the other branch's interrupt flag.  The interrupted branch
     // notices at its next solver conflict / loop check and returns its own
     // best-so-far (possibly a timeout), so both joins stay cheap.
-    let race = |mode: LoopMode, mine: Arc<AtomicBool>, other: Arc<AtomicBool>| {
-        move || {
-            let r = synthesize_one(spec, device, opts, params, mode, Some(mine));
-            if r.is_ok() {
-                other.store(true, Ordering::Relaxed);
+    let race =
+        |mode: LoopMode, mine: Arc<AtomicBool>, other: Arc<AtomicBool>, branch: &'static str| {
+            let branch_tracer = base_tracer.with_branch(branch);
+            move || {
+                // Install the branch stream for this worker thread; everything
+                // under synthesize_one (cegis, smt) inherits it.
+                let mut branch_params = params.clone();
+                branch_params.tracer = Some(branch_tracer.clone());
+                let _g = ph_obs::set_thread_tracer(branch_tracer.clone());
+                let r = synthesize_one(spec, device, opts, &branch_params, mode, Some(mine));
+                if r.is_ok() {
+                    other.store(true, Ordering::Relaxed);
+                    branch_tracer.count("race.first_win", 1);
+                    branch_tracer
+                        .msg_with(Level::Info, || format!("race: {branch} finished first"));
+                }
+                r
             }
-            r
-        }
-    };
+        };
     let (free, loopy) = std::thread::scope(|scope| {
         let h_free = scope.spawn(race(
             LoopMode::LoopFree,
             flag_free.clone(),
             flag_loopy.clone(),
+            "loop-free",
         ));
-        let h_loopy = scope.spawn(race(LoopMode::Loopy, flag_loopy.clone(), flag_free.clone()));
+        let h_loopy = scope.spawn(race(
+            LoopMode::Loopy,
+            flag_loopy.clone(),
+            flag_free.clone(),
+            "loopy",
+        ));
         let free = h_free.join().expect("loop-free worker panicked");
         let loopy = h_loopy.join().expect("loopy worker panicked");
         (free, loopy)
     });
+    drop(race_span);
 
+    let report = |winner: &'static str, out: &SynthOutput| {
+        base_tracer.count(
+            if winner == "loop-free" {
+                "race.win.loop_free"
+            } else {
+                "race.win.loopy"
+            },
+            1,
+        );
+        base_tracer.msg_with(Level::Info, || {
+            format!(
+                "race: {winner} skeleton wins with {} entries in {:.3}s",
+                out.program.entry_count(),
+                out.stats.wall.as_secs_f64()
+            )
+        });
+    };
     match (free, loopy) {
         (Ok(a), Ok(b)) => {
             // Prefer fewer entries; tie-break on fewer states.
             let (ua, ub) = (a.program.usage(), b.program.usage());
             if (ub.tcam_entries, ub.states) < (ua.tcam_entries, ua.states) {
+                report("loopy", &b);
                 Ok(b)
             } else {
+                report("loop-free", &a);
                 Ok(a)
             }
         }
-        (Ok(a), Err(_)) => Ok(a),
-        (Err(_), Ok(b)) => Ok(b),
+        (Ok(a), Err(_)) => {
+            report("loop-free", &a);
+            Ok(a)
+        }
+        (Err(_), Ok(b)) => {
+            report("loopy", &b);
+            Ok(b)
+        }
         // Both failed: a Timeout (likely just the interrupted loser) is the
         // least informative error, so prefer reporting the other kind.
-        (Err(a), Err(b)) => Err(match (&a, &b) {
-            (SynthError::Timeout(_), SynthError::Timeout(_)) => a,
-            (SynthError::Timeout(_), _) => b,
-            _ => a,
-        }),
+        (Err(a), Err(b)) => {
+            base_tracer.msg(Level::Warn, "race: both branches failed");
+            Err(match (&a, &b) {
+                (SynthError::Timeout(_), SynthError::Timeout(_)) => a,
+                (SynthError::Timeout(_), _) => b,
+                _ => a,
+            })
+        }
     }
 }

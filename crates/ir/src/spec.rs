@@ -221,6 +221,7 @@ impl ParserSpec {
     ///
     /// Returns the first structural problem found.
     pub fn validate(&self) -> Result<(), SpecError> {
+        let _span = ph_obs::current().span("ir.validate");
         if self.states.is_empty() {
             return Err(SpecError::Empty);
         }

@@ -35,12 +35,19 @@ impl std::error::Error for ParseError {}
 /// Lexical, syntactic, name-resolution and structural-validation problems
 /// are all reported as [`ParseError`].
 pub fn parse_parser(src: &str) -> Result<ParserSpec, ParseError> {
+    let tracer = ph_obs::current();
+    let _span = tracer.span("p4f.parse");
     let tokens = lex(src).map_err(|m| ParseError {
         line: 0,
         message: m,
     })?;
     let mut p = Parser { tokens, pos: 0 };
-    p.program()
+    let spec = p.program()?;
+    if tracer.enabled() {
+        tracer.gauge("p4f.fields", spec.fields.len() as u64);
+        tracer.gauge("p4f.states", spec.states.len() as u64);
+    }
+    Ok(spec)
 }
 
 struct Parser {

@@ -77,6 +77,24 @@ pub struct SolverStats {
     pub restarts: u64,
     /// Learned clauses currently retained.
     pub learnts: u64,
+    /// Problem clauses submitted through [`Solver::add_clause`].
+    pub clauses_added: u64,
+}
+
+impl SolverStats {
+    /// Effort spent since an earlier snapshot — the per-query cost of one
+    /// `solve`/`check_assuming` call.  `learnts` is a level, not a counter,
+    /// so its difference saturates at zero when the database shrank.
+    pub fn delta_since(self, earlier: SolverStats) -> SolverStats {
+        SolverStats {
+            conflicts: self.conflicts - earlier.conflicts,
+            decisions: self.decisions - earlier.decisions,
+            propagations: self.propagations - earlier.propagations,
+            restarts: self.restarts - earlier.restarts,
+            learnts: self.learnts.saturating_sub(earlier.learnts),
+            clauses_added: self.clauses_added - earlier.clauses_added,
+        }
+    }
 }
 
 /// A CDCL SAT solver.
@@ -230,6 +248,7 @@ impl Solver {
         if !self.ok {
             return false;
         }
+        self.stats.clauses_added += 1;
         self.cancel_until(0);
         let mut ls: Vec<Lit> = lits.into_iter().collect();
         ls.sort();

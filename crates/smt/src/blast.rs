@@ -9,9 +9,21 @@ use crate::term::{Op, Term, TermPool};
 use ph_sat::{Lit, Solver};
 use std::collections::HashMap;
 
+/// Lowering effort counters (see [`crate::Smt::blast_stats`]).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct BlastStats {
+    /// Term-DAG nodes lowered to CNF so far.
+    pub nodes_lowered: u64,
+    /// Fresh SAT variables introduced for problem inputs (`Op::Var` bits).
+    pub input_vars: u64,
+    /// Fresh SAT variables introduced for Tseitin gates (everything else).
+    pub gate_vars: u64,
+}
+
 pub(crate) struct Blaster {
     cache: HashMap<Term, Vec<Lit>>,
     true_lit: Option<Lit>,
+    stats: BlastStats,
 }
 
 impl Blaster {
@@ -19,7 +31,12 @@ impl Blaster {
         Blaster {
             cache: HashMap::new(),
             true_lit: None,
+            stats: BlastStats::default(),
         }
+    }
+
+    pub fn stats(&self) -> BlastStats {
+        self.stats
     }
 
     pub fn lits_of(&self, t: Term) -> Option<&Vec<Lit>> {
@@ -91,6 +108,8 @@ impl Blaster {
     /// instead of a fresh Tseitin variable per bit.
     fn blast_node(&mut self, pool: &TermPool, t: Term, sat: &mut Solver) -> Vec<Lit> {
         let tl = self.true_lit(sat);
+        let vars_before = sat.num_vars() as u64;
+        let is_input = matches!(*pool.op(t), Op::Var(..));
         let lits = match *pool.op(t) {
             Op::Const(ref b) => b.iter().map(|bit| if bit { tl } else { !tl }).collect(),
             Op::Var(_, w) => (0..w).map(|_| Lit::pos(sat.new_var())).collect(),
@@ -154,6 +173,13 @@ impl Blaster {
                     .collect()
             }
         };
+        self.stats.nodes_lowered += 1;
+        let fresh = sat.num_vars() as u64 - vars_before;
+        if is_input {
+            self.stats.input_vars += fresh;
+        } else {
+            self.stats.gate_vars += fresh;
+        }
         lits
     }
 }

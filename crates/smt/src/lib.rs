@@ -37,6 +37,8 @@
 mod blast;
 mod term;
 
+pub use blast::BlastStats;
+pub use ph_sat::SolverStats;
 pub use term::{Op, Term};
 
 use ph_bits::BitString;
@@ -109,6 +111,20 @@ impl Smt {
     /// Number of SAT variables allocated by bit-blasting so far.
     pub fn num_sat_vars(&self) -> usize {
         self.sat.num_vars()
+    }
+
+    /// The CDCL engine's search statistics (conflicts, decisions,
+    /// propagations, restarts, learned clauses, clauses added).  Snapshot
+    /// before and after a check and use
+    /// [`SolverStats::delta_since`] for per-query effort.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.sat.stats()
+    }
+
+    /// Bit-blasting effort so far: term nodes lowered, input variables and
+    /// Tseitin gate variables introduced.
+    pub fn blast_stats(&self) -> BlastStats {
+        self.blaster.stats()
     }
 
     /// Limits each subsequent `check` to roughly `n` conflicts
@@ -371,6 +387,9 @@ impl Smt {
     /// re-assumed terms are free) and passed as a SAT assumption, keeping
     /// the solver's learned clauses valid across calls.
     pub fn check_assuming(&mut self, extra: &[Term]) -> SmtResult {
+        let tracer = ph_obs::current();
+        let _span = tracer.span("smt.check");
+        let before = self.sat.stats();
         self.model_cache.clear();
         let mut lits: Vec<_> = extra
             .iter()
@@ -381,11 +400,25 @@ impl Smt {
             .collect();
         // Open scopes activate their guarded clauses via their selectors.
         lits.extend(self.scopes.iter().copied());
-        match self.sat.solve_with_assumptions(&lits) {
+        let result = match self.sat.solve_with_assumptions(&lits) {
             SolveResult::Sat => SmtResult::Sat,
             SolveResult::Unsat => SmtResult::Unsat,
             SolveResult::Unknown => SmtResult::Unknown,
+        };
+        if tracer.enabled() {
+            let d = self.sat.stats().delta_since(before);
+            tracer.count("smt.conflicts", d.conflicts);
+            tracer.count("smt.decisions", d.decisions);
+            tracer.count("smt.propagations", d.propagations);
+            tracer.count("smt.restarts", d.restarts);
+            let b = self.blaster.stats();
+            tracer.gauge("smt.terms", self.terms.len() as u64);
+            tracer.gauge("smt.sat_vars", self.sat.num_vars() as u64);
+            tracer.gauge("smt.gate_vars", b.gate_vars);
+            tracer.gauge("smt.clauses_added", self.sat.stats().clauses_added);
+            tracer.gauge("smt.learnts", self.sat.stats().learnts);
         }
+        result
     }
 
     /// Reads a term's value from the current model (after a `Sat` check).

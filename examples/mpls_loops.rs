@@ -76,6 +76,7 @@ fn main() {
         assert_eq!(want.dict, got.dict, "{name}");
         println!("{name}: 2-label MPLS stack parses identically to the spec");
     }
+    parserhawk::obs::current().flush();
 }
 
 fn ph_bits_from(v: u64, w: usize) -> parserhawk::bits::BitString {

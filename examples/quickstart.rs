@@ -74,4 +74,5 @@ fn main() {
         "TCP packet parsed identically by spec and implementation; dport = {}",
         got.dict.get(dport).unwrap().to_u64()
     );
+    parserhawk::obs::current().flush();
 }

@@ -55,4 +55,5 @@ fn main() {
         "Same synthesis core, two devices: only the hardware-configuration\n\
          profile changed (φ_tofino vs φ_IPU), as §7.3 claims."
     );
+    parserhawk::obs::current().flush();
 }

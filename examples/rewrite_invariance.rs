@@ -65,4 +65,5 @@ fn main() {
             "holds within post-optimization noise"
         }
     );
+    parserhawk::obs::current().flush();
 }

@@ -22,6 +22,8 @@
 //! * [`baseline`] — the DPParserGen and commercial-style baseline compilers.
 //! * [`core`] — the ParserHawk synthesis engine itself.
 //! * [`benchmarks`] — the paper's benchmark suite and rewrite rules.
+//! * [`obs`] — structured tracing and metrics for the synthesis pipeline
+//!   (spans, counters, JSON-lines traces; see `PH_TRACE`).
 //!
 //! ## Quickstart
 //!
@@ -61,6 +63,7 @@ pub use ph_bits as bits;
 pub use ph_core as core;
 pub use ph_hw as hw;
 pub use ph_ir as ir;
+pub use ph_obs as obs;
 pub use ph_p4f as p4f;
 pub use ph_sat as sat;
 pub use ph_smt as smt;
