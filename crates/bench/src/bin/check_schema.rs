@@ -48,6 +48,11 @@ const SAT_KEYS: &[&str] = &[
     "propagations",
     "restarts",
     "clauses_added",
+    "eliminated_vars",
+    "subsumed_clauses",
+    "strengthened_clauses",
+    "failed_literals",
+    "simplify_time_ns",
 ];
 
 /// Walks the document and validates every object that appears under a

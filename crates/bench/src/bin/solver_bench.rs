@@ -1,0 +1,157 @@
+//! Measures the CNF simplification engine: the Table 3 workload run twice —
+//! simplifier on and off — on otherwise identical solvers.
+//!
+//! ```text
+//! cargo run -p ph-bench --release --bin solver_bench
+//! ```
+//!
+//! Environment knobs:
+//!
+//! * `PH_SOLVER_BENCH_TIMEOUT_SECS` — per-run wall budget (default 30).
+//! * `PH_SOLVER_BENCH_FILTER` — restrict cases by name substring (CI smoke
+//!   uses this to run a single small case).
+//!
+//! Besides the stdout table, a machine-readable `results/solver_bench.json`
+//! (see [`ph_bench::report`]) records both runs per case with their full
+//! stats payloads — including the `sat.simplify` counters (eliminated
+//! variables, subsumed/strengthened clauses, simplification time) — plus a
+//! geometric-mean speed-up summary.  `check_schema` validates the shape.
+
+use ph_bench::{env_secs, geomean, report, run_parserhawk_simplify, RunResult};
+use ph_core::OptConfig;
+use ph_hw::DeviceProfile;
+use ph_obs::{Json, Level};
+
+/// Simplifier effort of one run, summed over both SAT engines.
+fn simplify_totals(r: &RunResult) -> (u64, u64, u64, f64) {
+    match &r.stats {
+        Some(s) => (
+            s.synth_sat.eliminated_vars + s.verify_sat.eliminated_vars,
+            s.synth_sat.subsumed_clauses + s.verify_sat.subsumed_clauses,
+            s.synth_sat.strengthened_clauses + s.verify_sat.strengthened_clauses,
+            (s.synth_sat.simplify_time_ns + s.verify_sat.simplify_time_ns) as f64 / 1e9,
+        ),
+        None => (0, 0, 0, 0.0),
+    }
+}
+
+fn main() {
+    if std::env::var_os("PH_NO_SIMPLIFY").is_some() {
+        // The kill switch would silently turn the "on" leg into a second
+        // "off" leg and report a bogus 1.0x.
+        eprintln!("solver_bench: unset PH_NO_SIMPLIFY to measure the simplifier");
+        std::process::exit(2);
+    }
+    let budget = env_secs("PH_SOLVER_BENCH_TIMEOUT_SECS", 30);
+    let filter = std::env::var("PH_SOLVER_BENCH_FILTER").unwrap_or_default();
+    let tracer = ph_obs::current();
+
+    println!("Solver bench: CNF simplification on vs. off (Table 3 workload)");
+    println!("per-run timeout {}s\n", budget.as_secs());
+    println!(
+        "{:<34} {:<7} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>9}",
+        "Program Name",
+        "Device",
+        "off(s)",
+        "on(s)",
+        "speedup",
+        "elimVars",
+        "subsumed",
+        "strength",
+        "simp(s)"
+    );
+
+    let mut speedups: Vec<(f64, bool)> = Vec::new();
+    let mut unmeasured = 0usize;
+    let mut rows_json: Vec<Json> = Vec::new();
+    let devices = [
+        ("tofino", DeviceProfile::tofino()),
+        ("ipu", DeviceProfile::ipu()),
+    ];
+
+    for case in ph_benchmarks::registry() {
+        if !filter.is_empty() && !case.name.contains(&filter) {
+            continue;
+        }
+        for (dev_name, dev) in &devices {
+            tracer.msg_with(Level::Info, || {
+                format!("solver_bench: {} on {dev_name}", case.name)
+            });
+            let off = run_parserhawk_simplify(&case.spec, dev, OptConfig::all(), budget, false);
+            let on = run_parserhawk_simplify(&case.spec, dev, OptConfig::all(), budget, true);
+
+            let (elim, sub, strn, simp_s) = simplify_totals(&on);
+            // Pairs where both legs finish under the floor sit at timer
+            // resolution — their ratio is noise (when the scheduler never
+            // fired, the two legs ran identical code), so they are shown
+            // but kept out of the aggregate.
+            const GEOMEAN_FLOOR_S: f64 = 0.1;
+            let measurable = off.time.as_secs_f64() >= GEOMEAN_FLOOR_S
+                || on.time.as_secs_f64() >= GEOMEAN_FLOOR_S;
+            let speed_cell = if on.ok() && off.ok() {
+                let s = off.time.as_secs_f64() / on.time.as_secs_f64().max(1e-3);
+                if measurable {
+                    speedups.push((s, false));
+                    format!("{s:.2}x")
+                } else {
+                    unmeasured += 1;
+                    format!("({s:.2}x)")
+                }
+            } else if on.ok() && off.timed_out {
+                let s = budget.as_secs_f64() / on.time.as_secs_f64().max(1e-3);
+                speedups.push((s, true));
+                format!(">{s:.2}x")
+            } else {
+                "-".into()
+            };
+            println!(
+                "{:<34} {:<7} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>9.3}",
+                case.name,
+                dev_name,
+                off.time_cell(budget),
+                on.time_cell(budget),
+                speed_cell,
+                elim,
+                sub,
+                strn,
+                simp_s
+            );
+
+            rows_json.push(
+                Json::obj()
+                    .with("name", case.name.as_str())
+                    .with("device", *dev_name)
+                    .with("off", report::run_json(&off, budget))
+                    .with("on", report::run_json(&on, budget)),
+            );
+        }
+    }
+
+    let (g, lb) = geomean(&speedups);
+    println!(
+        "\ngeometric-mean simplify-on speed-up: {}{:.3}x over {} measured pairs \
+         ({unmeasured} below the {:.0}ms floor, in parentheses above)",
+        if lb { ">" } else { "" },
+        g,
+        speedups.len(),
+        0.1 * 1e3,
+    );
+
+    let doc = report::metadata("solver_bench")
+        .with("timeout_s", budget.as_secs())
+        .with("filter", filter.as_str())
+        .with("rows", Json::Arr(rows_json))
+        .with(
+            "summary",
+            Json::obj()
+                .with("measured_pairs", speedups.len())
+                .with("below_floor_pairs", unmeasured)
+                .with("geomean_speedup", g)
+                .with("geomean_is_lower_bound", lb),
+        );
+    match report::write_results("solver_bench", &doc) {
+        Ok(path) => println!("structured results: {}", path.display()),
+        Err(e) => eprintln!("failed to write results file: {e}"),
+    }
+    tracer.flush();
+}

@@ -73,10 +73,24 @@ pub fn run_parserhawk(
     opts: OptConfig,
     timeout: Duration,
 ) -> RunResult {
+    run_parserhawk_simplify(spec, device, opts, timeout, true)
+}
+
+/// [`run_parserhawk`] with explicit control over CNF simplification in the
+/// SAT engines — the `solver_bench` binary uses this to measure the
+/// simplifier's on/off speed-up on identical workloads.
+pub fn run_parserhawk_simplify(
+    spec: &ParserSpec,
+    device: &DeviceProfile,
+    opts: OptConfig,
+    timeout: Duration,
+    simplify: bool,
+) -> RunResult {
     let t0 = Instant::now();
     let r = Synthesizer::new(device.clone(), opts)
         .with_params(SynthParams {
             timeout: Some(timeout),
+            simplify,
             ..Default::default()
         })
         .synthesize(spec);

@@ -233,6 +233,7 @@ fn run_cegis(
 
     let mut smt = Smt::new();
     smt.set_interrupt(Some(flag.clone()));
+    smt.set_simplify(params.simplify);
     let vars = build_vars(&mut smt, shape, device);
     stats.search_space_bits = vars.search_space_bits;
     tracer.gauge("cegis.search_space_bits", vars.search_space_bits as u64);
@@ -243,6 +244,7 @@ fn run_cegis(
     // instance.
     let tv = Instant::now();
     let mut verifier = IncrementalVerifier::new(shape, red_spec, l, k_impl, k_spec, &flag)?;
+    verifier.set_simplify(params.simplify);
     stats.verify_solver_builds += 1;
     stats.verify_time += tv.elapsed();
 
@@ -503,6 +505,11 @@ impl<'a> IncrementalVerifier<'a> {
         let mut smt = Smt::new();
         smt.set_interrupt(Some(flag.clone()));
         let input = smt.var("I", l as u32);
+        // Counterexamples are read off `input` after every SAT verdict, so
+        // its bits must survive CNF simplification.  Blasting any term
+        // freezes its cached literals; forcing it here (rather than relying
+        // on `encode_impl` reaching it) makes the contract explicit.
+        smt.freeze_term(input);
         let skel = skeleton::build_verifier_terms(&mut smt, shape);
         let out = encode_impl(&mut smt, shape, &skel, input, k_impl);
         let paths = encode_spec_paths(&mut smt, red_spec, input, k_spec + 2, 1 << 16)
@@ -536,6 +543,13 @@ impl<'a> IncrementalVerifier<'a> {
         self.smt.solver_stats()
     }
 
+    /// Enables or disables CNF simplification in the underlying solver
+    /// (safe either way: the blaster freezes all externally visible
+    /// literals).
+    pub fn set_simplify(&mut self, on: bool) {
+        self.smt.set_simplify(on);
+    }
+
     /// Checks one candidate: UNSAT under the pin assumptions means no input
     /// distinguishes it from the spec.
     pub fn verify(&mut self, candidate: &ConcreteSkel) -> Verdict {
@@ -563,6 +577,9 @@ pub fn verify_candidate_fresh(
 ) -> Result<Verdict, SynthError> {
     let mut vsmt = Smt::new();
     vsmt.set_interrupt(Some(flag.clone()));
+    // This path is the differential-testing oracle for the incremental
+    // (and simplifying) engine, so it deliberately runs the plain solver.
+    vsmt.set_simplify(false);
     let input = vsmt.var("I", l as u32);
     let terms = skeleton::concrete_terms(&mut vsmt, shape, candidate);
     let out = encode_impl(&mut vsmt, shape, &terms, input, k_impl);

@@ -129,6 +129,10 @@ pub struct SynthParams {
     pub spare_states: Option<usize>,
     /// Random seed for initial test-case generation.
     pub seed: u64,
+    /// Run CNF simplification (preprocessing + inprocessing) in the SAT
+    /// engines.  Defaults to on; the `PH_NO_SIMPLIFY` environment variable
+    /// force-disables it regardless of this flag.
+    pub simplify: bool,
     /// Run-scoped tracer.  `Some` installs the tracer as the thread tracer
     /// for the run's duration (Opt7 race branches derive per-branch
     /// streams from it); `None` inherits the ambient [`ph_obs::current`]
@@ -144,6 +148,7 @@ impl Default for SynthParams {
             max_loop_iters: 8,
             spare_states: None,
             seed: 0x9aa5,
+            simplify: true,
             tracer: None,
         }
     }
@@ -203,6 +208,11 @@ fn solver_stats_json(s: &SolverStats) -> Json {
         .with("restarts", s.restarts)
         .with("learnts", s.learnts)
         .with("clauses_added", s.clauses_added)
+        .with("eliminated_vars", s.eliminated_vars)
+        .with("subsumed_clauses", s.subsumed_clauses)
+        .with("strengthened_clauses", s.strengthened_clauses)
+        .with("failed_literals", s.failed_literals)
+        .with("simplify_time_ns", s.simplify_time_ns)
 }
 
 impl SynthStats {

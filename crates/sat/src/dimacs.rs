@@ -4,12 +4,16 @@
 //! benchmarks, independent of the bit-vector layer.
 
 use crate::{Lit, Solver, Var};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// Parses DIMACS CNF text into a fresh [`Solver`].
 ///
 /// Returns the solver and the number of variables declared in the header.
 /// Lines starting with `c` are comments; the `p cnf <vars> <clauses>` header
-/// is required before any clause.
+/// is required before any clause.  Blank lines, CRLF line endings, clauses
+/// spanning multiple lines, a missing trailing `0`/newline at end of input,
+/// and the SATLIB `%` end-of-file marker are all tolerated.
 ///
 /// # Errors
 ///
@@ -23,6 +27,11 @@ pub fn parse_dimacs(text: &str) -> Result<(Solver, usize), String> {
         let line = line.trim();
         if line.is_empty() || line.starts_with('c') {
             continue;
+        }
+        if line.starts_with('%') {
+            // SATLIB benchmark files end with a "%" marker followed by a
+            // stray "0"; everything after it is padding.
+            break;
         }
         if line.starts_with('p') {
             let mut parts = line.split_whitespace();
@@ -80,6 +89,35 @@ pub fn write_dimacs(solver: &Solver) -> String {
     out
 }
 
+/// When `PH_DUMP_CNF=<dir>` is set, writes the solver's current clause
+/// database — plus the query's assumptions, as `c` comments — to
+/// `<dir>/query-<n>.cnf` for offline debugging.  A no-op otherwise.
+///
+/// `ph-smt` calls this on every `check` query.  Note the dump reflects the
+/// database as the solver holds it *now*: after simplification it is the
+/// equisatisfiable simplified formula, not the raw blasted CNF.
+pub fn dump_cnf_if_requested(solver: &Solver, assumptions: &[Lit]) {
+    static DIR: OnceLock<Option<std::path::PathBuf>> = OnceLock::new();
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let Some(dir) = DIR.get_or_init(|| std::env::var_os("PH_DUMP_CNF").map(Into::into)) else {
+        return;
+    };
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let mut text = String::new();
+    if !assumptions.is_empty() {
+        text.push_str("c assumptions:");
+        for l in assumptions {
+            let v = l.var().0 as i64 + 1;
+            text.push(' ');
+            text.push_str(&(if l.is_neg() { -v } else { v }).to_string());
+        }
+        text.push('\n');
+    }
+    text.push_str(&write_dimacs(solver));
+    let _ = std::fs::create_dir_all(dir);
+    let _ = std::fs::write(dir.join(format!("query-{n:05}.cnf")), text);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,5 +158,91 @@ mod tests {
         let (mut s, _) = parse_dimacs("p cnf 1 1\n1").unwrap();
         assert_eq!(s.solve(), Some(true));
         assert_eq!(s.value(Var(0)), Some(true));
+    }
+
+    #[test]
+    fn tolerates_blank_lines_comments_and_crlf() {
+        let text = "c header comment\r\n\r\np cnf 3 2\r\nc mid comment\r\n1 -2 0\r\n\r\n2 3 0\r\n";
+        let (mut s, nv) = parse_dimacs(text).unwrap();
+        assert_eq!(nv, 3);
+        assert_eq!(s.solve(), Some(true));
+    }
+
+    #[test]
+    fn tolerates_clause_spanning_lines_and_missing_final_newline() {
+        // One clause split across two lines, a second with no trailing 0 or
+        // newline at end of input.
+        let (mut s, _) = parse_dimacs("p cnf 3 2\n1\n-2 0\n2 3").unwrap();
+        assert_eq!(s.num_clauses(), 2);
+        assert_eq!(s.solve(), Some(true));
+    }
+
+    #[test]
+    fn tolerates_satlib_percent_eof_marker() {
+        let (mut s, _) = parse_dimacs("p cnf 2 2\n1 2 0\n-1 0\n%\n0\n\n").unwrap();
+        assert_eq!(s.solve(), Some(true));
+        assert_eq!(s.value(Var(1)), Some(true));
+    }
+
+    /// Round-trip: parse → write → parse must preserve the clause set
+    /// exactly (as sets of sorted literal vectors), including level-0 units.
+    #[test]
+    fn roundtrip_preserves_clause_set() {
+        let mut rng = ph_bits::Rng::seed_from_u64(0xd1_3ac5);
+        for _ in 0..50 {
+            let nv = rng.gen_range(2..=9usize);
+            let nc = rng.gen_range(1..=nv * 3);
+            let mut text = format!("p cnf {nv} {nc}\n");
+            for _ in 0..nc {
+                let len = rng.gen_range(1..=3usize);
+                for _ in 0..len {
+                    let v = rng.gen_range(1..=nv) as i64;
+                    let signed = if rng.gen_bool(0.5) { -v } else { v };
+                    text.push_str(&format!("{signed} "));
+                }
+                text.push_str("0\n");
+            }
+            let Ok((s1, nv1)) = parse_dimacs(&text) else {
+                continue;
+            };
+            let out1 = write_dimacs(&s1);
+            let (s2, nv2) = parse_dimacs(&out1).unwrap();
+            assert_eq!(nv1, nv2);
+            let norm = |s: &Solver| {
+                let mut cs: Vec<Vec<i64>> = write_dimacs(s)
+                    .lines()
+                    .skip(1)
+                    .map(|l| {
+                        let mut c: Vec<i64> = l
+                            .split_whitespace()
+                            .map(|t| t.parse::<i64>().unwrap())
+                            .filter(|&x| x != 0)
+                            .collect();
+                        c.sort_unstable();
+                        c
+                    })
+                    .collect();
+                cs.sort();
+                cs
+            };
+            assert_eq!(norm(&s1), norm(&s2), "round-trip changed clause set");
+        }
+    }
+
+    #[test]
+    fn dump_cnf_hook_writes_numbered_queries() {
+        // Must run before anything else in this binary touches the hook so
+        // the OnceLock caches our directory (nothing else here does).
+        let dir = std::env::temp_dir().join(format!("ph_dump_cnf_test_{}", std::process::id()));
+        std::env::set_var("PH_DUMP_CNF", &dir);
+        let (s, _) = parse_dimacs("p cnf 2 2\n1 2 0\n-1 0\n").unwrap();
+        dump_cnf_if_requested(&s, &[]);
+        dump_cnf_if_requested(&s, &[Lit::neg(Var(1))]);
+        let q0 = std::fs::read_to_string(dir.join("query-00000.cnf")).unwrap();
+        let q1 = std::fs::read_to_string(dir.join("query-00001.cnf")).unwrap();
+        let (mut reparsed, _) = parse_dimacs(&q0).unwrap();
+        assert_eq!(reparsed.solve(), Some(true));
+        assert!(q1.starts_with("c assumptions: -2\n"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -16,6 +16,10 @@
 //! * incremental solving under assumptions (clauses may be added between
 //!   `solve` calls, which is what the CEGIS synthesis phase needs as
 //!   counterexamples accumulate),
+//! * SatELite-style clause-database simplification — bounded variable
+//!   elimination, (self-)subsumption and failed-literal probing — run as
+//!   preprocessing on `solve` and as inprocessing between restarts, with
+//!   [`Solver::freeze`] protecting externally visible variables,
 //! * DIMACS CNF input/output for standalone testing.
 //!
 //! ```
@@ -32,8 +36,9 @@
 
 mod dimacs;
 mod lit;
+mod simplify;
 mod solver;
 
-pub use dimacs::{parse_dimacs, write_dimacs};
+pub use dimacs::{dump_cnf_if_requested, parse_dimacs, write_dimacs};
 pub use lit::{Lit, Var};
 pub use solver::{SolveResult, Solver, SolverStats};

@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 /// Truth value of a variable: unassigned, true or false.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum LBool {
+pub(crate) enum LBool {
     Undef,
     True,
     False,
@@ -23,7 +23,7 @@ enum LBool {
 
 impl LBool {
     #[inline]
-    fn from_bool(b: bool) -> LBool {
+    pub(crate) fn from_bool(b: bool) -> LBool {
         if b {
             LBool::True
         } else {
@@ -33,24 +33,24 @@ impl LBool {
 }
 
 /// Reference to a clause in the solver's arena.
-type ClauseRef = u32;
-const REASON_NONE: ClauseRef = u32::MAX;
+pub(crate) type ClauseRef = u32;
+pub(crate) const REASON_NONE: ClauseRef = u32::MAX;
 
 #[derive(Debug)]
-struct Clause {
-    lits: Vec<Lit>,
-    learnt: bool,
-    deleted: bool,
-    lbd: u32,
-    activity: f64,
+pub(crate) struct Clause {
+    pub(crate) lits: Vec<Lit>,
+    pub(crate) learnt: bool,
+    pub(crate) deleted: bool,
+    pub(crate) lbd: u32,
+    pub(crate) activity: f64,
 }
 
 #[derive(Clone, Copy)]
-struct Watch {
-    cref: ClauseRef,
+pub(crate) struct Watch {
+    pub(crate) cref: ClauseRef,
     /// A literal of the clause other than the watched one; if it is already
     /// true the clause is satisfied and the watch list walk can skip it.
-    blocker: Lit,
+    pub(crate) blocker: Lit,
 }
 
 /// Outcome of a `solve` call.
@@ -79,6 +79,17 @@ pub struct SolverStats {
     pub learnts: u64,
     /// Problem clauses submitted through [`Solver::add_clause`].
     pub clauses_added: u64,
+    /// Variables removed by bounded variable elimination.
+    pub eliminated_vars: u64,
+    /// Clauses deleted because another clause subsumes them.
+    pub subsumed_clauses: u64,
+    /// Literals removed from clauses by unit strengthening or
+    /// self-subsumption.
+    pub strengthened_clauses: u64,
+    /// Top-level literals fixed by failed-literal probing.
+    pub failed_literals: u64,
+    /// Wall-clock time spent inside [`Solver::simplify`], in nanoseconds.
+    pub simplify_time_ns: u64,
 }
 
 impl SolverStats {
@@ -93,6 +104,11 @@ impl SolverStats {
             restarts: self.restarts - earlier.restarts,
             learnts: self.learnts.saturating_sub(earlier.learnts),
             clauses_added: self.clauses_added - earlier.clauses_added,
+            eliminated_vars: self.eliminated_vars - earlier.eliminated_vars,
+            subsumed_clauses: self.subsumed_clauses - earlier.subsumed_clauses,
+            strengthened_clauses: self.strengthened_clauses - earlier.strengthened_clauses,
+            failed_literals: self.failed_literals - earlier.failed_literals,
+            simplify_time_ns: self.simplify_time_ns - earlier.simplify_time_ns,
         }
     }
 }
@@ -101,14 +117,14 @@ impl SolverStats {
 ///
 /// See the [crate docs](crate) for an example.
 pub struct Solver {
-    clauses: Vec<Clause>,
-    watches: Vec<Vec<Watch>>,
-    assigns: Vec<LBool>,
-    level: Vec<u32>,
-    reason: Vec<ClauseRef>,
-    trail: Vec<Lit>,
-    trail_lim: Vec<usize>,
-    qhead: usize,
+    pub(crate) clauses: Vec<Clause>,
+    pub(crate) watches: Vec<Vec<Watch>>,
+    pub(crate) assigns: Vec<LBool>,
+    pub(crate) level: Vec<u32>,
+    pub(crate) reason: Vec<ClauseRef>,
+    pub(crate) trail: Vec<Lit>,
+    pub(crate) trail_lim: Vec<usize>,
+    pub(crate) qhead: usize,
     /// VSIDS activity per variable.
     activity: Vec<f64>,
     var_inc: f64,
@@ -120,17 +136,45 @@ pub struct Solver {
     /// Clause activity bump.
     cla_inc: f64,
     /// False once an unconditional empty clause was derived.
-    ok: bool,
+    pub(crate) ok: bool,
     /// Learned clauses since the last database reduction.
     learnt_since_reduce: usize,
     max_learnts: usize,
-    stats: SolverStats,
+    pub(crate) stats: SolverStats,
     /// Scratch for conflict analysis.
     seen: Vec<bool>,
     /// Conflict budget for the next solve (None = unlimited).
     budget: Option<u64>,
     /// Cooperative interrupt flag: when set, `solve` returns `Unknown`.
-    interrupt: Option<Arc<AtomicBool>>,
+    pub(crate) interrupt: Option<Arc<AtomicBool>>,
+    /// Variables the simplifier must never eliminate (external interface
+    /// variables: assumption candidates and model-read variables).
+    pub(crate) frozen: Vec<bool>,
+    /// Variables removed by bounded variable elimination.  Never branched
+    /// on; their model values are reconstructed by [`Solver::extend_model`].
+    pub(crate) eliminated: Vec<bool>,
+    /// Model-reconstruction stack: for each eliminated variable, the pivot
+    /// literal and the saved clauses containing it, in elimination order.
+    pub(crate) elim_stack: Vec<(Lit, Vec<Vec<Lit>>)>,
+    /// Master switch for pre-/inprocessing (see `PH_NO_SIMPLIFY`).
+    pub(crate) simplify_enabled: bool,
+    /// Whether a simplification pass has ever run.
+    pub(crate) simplified_once: bool,
+    /// Problem clauses attached since the last simplification pass.
+    pub(crate) new_since_simplify: usize,
+    /// Problem clause refs added since the last pass — seeds the
+    /// subsumption queue so inprocessing stays incremental.
+    pub(crate) pending_subsumption: Vec<ClauseRef>,
+    /// Conflict count at the last inprocessing run.
+    pub(crate) conflicts_at_simplify: u64,
+    /// Conflicts between inprocessing runs; grows geometrically.
+    pub(crate) inprocess_gap: u64,
+    /// Most conflicts any single solve call has spent — the scheduler's
+    /// hardness signal (cumulative totals would conflate many easy queries
+    /// with one hard one).
+    pub(crate) max_call_conflicts: u64,
+    /// Round-robin cursor for failed-literal probing.
+    pub(crate) probe_cursor: usize,
 }
 
 const HEAP_NONE: usize = usize::MAX;
@@ -166,6 +210,17 @@ impl Solver {
             seen: Vec::new(),
             budget: None,
             interrupt: None,
+            frozen: Vec::new(),
+            eliminated: Vec::new(),
+            elim_stack: Vec::new(),
+            simplify_enabled: !crate::simplify::simplify_disabled_by_env(),
+            simplified_once: false,
+            new_since_simplify: 0,
+            pending_subsumption: Vec::new(),
+            conflicts_at_simplify: 0,
+            inprocess_gap: crate::simplify::INPROCESS_GAP_INIT,
+            max_call_conflicts: 0,
+            probe_cursor: 0,
         }
     }
 
@@ -214,8 +269,44 @@ impl Solver {
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.heap_pos.push(HEAP_NONE);
+        self.frozen.push(false);
+        self.eliminated.push(false);
         self.heap_insert(v);
         v
+    }
+
+    /// Marks `v` as off-limits for variable elimination.  Call this for
+    /// every variable that may later appear in an assumption, a new clause,
+    /// or a model read — the simplifier is free to resolve away any other
+    /// variable, after which referencing it again is an error.
+    pub fn freeze(&mut self, v: Var) {
+        debug_assert!(
+            !self.eliminated[v.index()],
+            "freeze({v:?}) after the variable was eliminated"
+        );
+        self.frozen[v.index()] = true;
+    }
+
+    /// Whether `v` is frozen (protected from elimination).
+    pub fn is_frozen(&self, v: Var) -> bool {
+        self.frozen[v.index()]
+    }
+
+    /// Whether `v` was removed by variable elimination.
+    pub fn is_eliminated(&self, v: Var) -> bool {
+        self.eliminated[v.index()]
+    }
+
+    /// Enables or disables CNF simplification (preprocessing and
+    /// inprocessing).  Defaults to enabled unless `PH_NO_SIMPLIFY=1` is set
+    /// in the environment.
+    pub fn set_simplify(&mut self, on: bool) {
+        self.simplify_enabled = on && !crate::simplify::simplify_disabled_by_env();
+    }
+
+    /// Whether simplification is currently enabled.
+    pub fn simplify_enabled(&self) -> bool {
+        self.simplify_enabled
     }
 
     /// The model value of `v` after a satisfiable solve, or its fixed value.
@@ -233,7 +324,7 @@ impl Solver {
     }
 
     #[inline]
-    fn lit_lbool(&self, l: Lit) -> LBool {
+    pub(crate) fn lit_lbool(&self, l: Lit) -> LBool {
         match self.assigns[l.var().index()] {
             LBool::Undef => LBool::Undef,
             LBool::True => LBool::from_bool(l.apply(true)),
@@ -251,6 +342,13 @@ impl Solver {
         self.stats.clauses_added += 1;
         self.cancel_until(0);
         let mut ls: Vec<Lit> = lits.into_iter().collect();
+        for &l in &ls {
+            assert!(
+                !self.eliminated[l.var().index()],
+                "clause references eliminated variable {:?}; freeze() it before solving",
+                l.var()
+            );
+        }
         ls.sort();
         ls.dedup();
         // Tautology / falsified-literal simplification (level 0 only).
@@ -275,6 +373,7 @@ impl Solver {
                 false
             }
             1 => {
+                self.new_since_simplify += 1;
                 self.enqueue(simplified[0], REASON_NONE);
                 if self.propagate().is_some() {
                     self.ok = false;
@@ -310,16 +409,19 @@ impl Solver {
         });
         if learnt {
             self.stats.learnts += 1;
+        } else {
+            self.new_since_simplify += 1;
+            self.pending_subsumption.push(cref);
         }
         cref
     }
 
     #[inline]
-    fn decision_level(&self) -> u32 {
+    pub(crate) fn decision_level(&self) -> u32 {
         self.trail_lim.len() as u32
     }
 
-    fn enqueue(&mut self, l: Lit, reason: ClauseRef) {
+    pub(crate) fn enqueue(&mut self, l: Lit, reason: ClauseRef) {
         debug_assert_eq!(self.lit_lbool(l), LBool::Undef);
         let v = l.var().index();
         self.assigns[v] = LBool::from_bool(!l.is_neg());
@@ -329,7 +431,7 @@ impl Solver {
     }
 
     /// Unit propagation; returns the conflicting clause if any.
-    fn propagate(&mut self) -> Option<ClauseRef> {
+    pub(crate) fn propagate(&mut self) -> Option<ClauseRef> {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
@@ -490,7 +592,7 @@ impl Solver {
         levels.len() as u32
     }
 
-    fn cancel_until(&mut self, lvl: u32) {
+    pub(crate) fn cancel_until(&mut self, lvl: u32) {
         if self.decision_level() <= lvl {
             return;
         }
@@ -606,7 +708,7 @@ impl Solver {
 
     fn pick_branch_var(&mut self) -> Option<Var> {
         while let Some(v) = self.heap_pop() {
-            if self.assigns[v.index()] == LBool::Undef {
+            if self.assigns[v.index()] == LBool::Undef && !self.eliminated[v.index()] {
                 return Some(v);
             }
         }
@@ -676,9 +778,22 @@ impl Solver {
         if !self.ok {
             return SolveResult::Unsat;
         }
+        // Assumption variables become part of the external interface: they
+        // must survive (and must not already have fallen to) elimination.
+        for &a in assumptions {
+            assert!(
+                !self.eliminated[a.var().index()],
+                "assumption on eliminated variable {:?}; freeze() it before solving",
+                a.var()
+            );
+            self.frozen[a.var().index()] = true;
+        }
         self.cancel_until(0);
         if self.propagate().is_some() {
             self.ok = false;
+            return SolveResult::Unsat;
+        }
+        if self.simplify_enabled && self.should_preprocess() && !self.simplify() {
             return SolveResult::Unsat;
         }
 
@@ -690,6 +805,7 @@ impl Solver {
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_this_call += 1;
+                self.max_call_conflicts = self.max_call_conflicts.max(conflicts_this_call);
                 if self.decision_level() == 0 {
                     self.ok = false;
                     return SolveResult::Unsat;
@@ -732,6 +848,14 @@ impl Solver {
                     restart_budget = conflicts_this_call + 100 * luby(restart_idx);
                     self.stats.restarts += 1;
                     self.cancel_until(0);
+                    // Inprocessing: re-run the simplifier between restarts
+                    // once a hard query has accumulated enough conflicts.
+                    if self.simplify_enabled && self.should_inprocess() {
+                        self.inprocess_gap = self.inprocess_gap.saturating_mul(2);
+                        if !self.simplify() {
+                            return SolveResult::Unsat;
+                        }
+                    }
                 }
                 if self.learnt_since_reduce > self.max_learnts {
                     self.reduce_db();
@@ -766,7 +890,10 @@ impl Solver {
                     continue;
                 }
                 match self.pick_branch_var() {
-                    None => return SolveResult::Sat,
+                    None => {
+                        self.extend_model();
+                        return SolveResult::Sat;
+                    }
                     Some(v) => {
                         self.stats.decisions += 1;
                         self.trail_lim.push(self.trail.len());
@@ -926,6 +1053,10 @@ mod tests {
         let mut s = Solver::new();
         let a = Lit::pos(s.new_var());
         let b = Lit::pos(s.new_var());
+        // Both variables appear in future assumptions: freeze them so the
+        // preprocessor cannot resolve them away in the meantime.
+        s.freeze(a.var());
+        s.freeze(b.var());
         s.add_clause([a, b]);
         assert_eq!(s.solve_with_assumptions(&[!a]), SolveResult::Sat);
         assert_eq!(s.lit_value(b), Some(true));
@@ -940,6 +1071,11 @@ mod tests {
     fn incremental_clause_addition() {
         let mut s = Solver::new();
         let ls = lits(&mut s, 4);
+        // Blocking clauses over model values arrive later; the variables are
+        // part of the external interface and must survive simplification.
+        for &l in &ls {
+            s.freeze(l.var());
+        }
         s.add_clause(ls.iter().copied());
         assert_eq!(s.solve(), Some(true));
         // Exclude models one at a time: 4 vars with only the all-false model
@@ -962,6 +1098,8 @@ mod tests {
         let mut s = Solver::new();
         let a = Lit::pos(s.new_var());
         let b = Lit::pos(s.new_var());
+        s.freeze(a.var());
+        s.freeze(b.var());
         s.add_clause([!a, b]);
         assert_eq!(s.solve_with_assumptions(&[a]), SolveResult::Sat);
         assert_eq!(s.lit_value(b), Some(true));
@@ -1110,6 +1248,10 @@ mod tests {
             // One persistent solver answers a sequence of assumption sets.
             let mut inc = Solver::new();
             let inc_vars: Vec<Var> = (0..nv).map(|_| inc.new_var()).collect();
+            // Any variable may show up in a later assumption set.
+            for &v in &inc_vars {
+                inc.freeze(v);
+            }
             let mut inc_ok = true;
             for c in &clauses {
                 inc_ok &= inc.add_clause(c.iter().map(|&(v, neg)| Lit::new(inc_vars[v], neg)));
