@@ -39,6 +39,8 @@ const STAT_KEYS: &[&str] = &[
     "shrink_time_s",
     "wall_s",
     "max_verify_conflicts",
+    "portfolio_races",
+    "portfolio_clauses_imported",
 ];
 
 /// Required keys of each embedded `SolverStats` block.
@@ -53,6 +55,8 @@ const SAT_KEYS: &[&str] = &[
     "strengthened_clauses",
     "failed_literals",
     "simplify_time_ns",
+    "portfolio_solves",
+    "portfolio_imported",
 ];
 
 /// Walks the document and validates every object that appears under a

@@ -1,0 +1,204 @@
+//! Measures portfolio SAT solving: the Table 3 workload run three times —
+//! portfolio off, 2 workers, 4 workers — on otherwise identical solvers,
+//! with Opt7 racing disabled so the cores belong to the portfolio alone.
+//!
+//! ```text
+//! cargo run -p ph-bench --release --bin portfolio_bench
+//! ```
+//!
+//! Environment knobs:
+//!
+//! * `PH_PORTFOLIO_BENCH_TIMEOUT_SECS` — per-run wall budget (default 30).
+//! * `PH_PORTFOLIO_BENCH_FILTER` — restrict cases by name substring (CI
+//!   smoke uses this to run a single small case).
+//! * `PH_PORTFOLIO_BENCH_ASSUME_CORES` — pretend this many cores for the
+//!   single-core clamp.  CI smoke uses it to exercise the race machinery on
+//!   small runners; headline numbers must come from unset (detected) cores,
+//!   and the results file records both values so the distinction is audit-
+//!   able.
+//!
+//! Refuses to run under `PH_PORTFOLIO` — the global override would force
+//! every leg to the same width and report a bogus 1.0x.
+//!
+//! Besides the stdout table, a machine-readable
+//! `results/portfolio_bench.json` (see [`ph_bench::report`]) records all
+//! three runs per case with their full stats payloads — including the
+//! `portfolio_races` / `portfolio_clauses_imported` counters — plus
+//! geometric-mean speed-up summaries.  `check_schema` validates the shape.
+
+use ph_bench::{env_secs, geomean, report, run_parserhawk_portfolio, RunResult};
+use ph_hw::DeviceProfile;
+use ph_obs::{Json, Level};
+
+/// Portfolio activity of one run, summed over both SAT engines.
+fn portfolio_totals(r: &RunResult) -> (u64, u64) {
+    match &r.stats {
+        Some(s) => (s.portfolio_races, s.portfolio_clauses_imported),
+        None => (0, 0),
+    }
+}
+
+fn main() {
+    if std::env::var_os("PH_PORTFOLIO").is_some() {
+        eprintln!("portfolio_bench: unset PH_PORTFOLIO to measure the portfolio");
+        std::process::exit(2);
+    }
+    let budget = env_secs("PH_PORTFOLIO_BENCH_TIMEOUT_SECS", 30);
+    let filter = std::env::var("PH_PORTFOLIO_BENCH_FILTER").unwrap_or_default();
+    let assume_cores: Option<usize> = std::env::var("PH_PORTFOLIO_BENCH_ASSUME_CORES")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let detected_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let tracer = ph_obs::current();
+
+    println!("Portfolio bench: off vs. 2 vs. 4 workers (Table 3 workload)");
+    println!(
+        "per-run timeout {}s, detected cores {detected_cores}{}\n",
+        budget.as_secs(),
+        match assume_cores {
+            Some(n) => format!(", ASSUMED cores {n} (machinery smoke, not a measurement)"),
+            None => String::new(),
+        }
+    );
+    println!(
+        "{:<34} {:<7} | {:>8} {:>8} {:>8} | {:>8} {:>8} | {:>6} {:>8}",
+        "Program Name",
+        "Device",
+        "off(s)",
+        "w2(s)",
+        "w4(s)",
+        "sp(w2)",
+        "sp(w4)",
+        "races",
+        "imported"
+    );
+
+    let mut speedups_w2: Vec<(f64, bool)> = Vec::new();
+    let mut speedups_w4: Vec<(f64, bool)> = Vec::new();
+    let mut unmeasured = 0usize;
+    let mut rows_json: Vec<Json> = Vec::new();
+    let devices = [
+        ("tofino", DeviceProfile::tofino()),
+        ("ipu", DeviceProfile::ipu()),
+    ];
+
+    for case in ph_benchmarks::registry() {
+        if !filter.is_empty() && !case.name.contains(&filter) {
+            continue;
+        }
+        for (dev_name, dev) in &devices {
+            tracer.msg_with(Level::Info, || {
+                format!("portfolio_bench: {} on {dev_name}", case.name)
+            });
+            let off = run_parserhawk_portfolio(&case.spec, dev, budget, 0, assume_cores);
+            let w2 = run_parserhawk_portfolio(&case.spec, dev, budget, 2, assume_cores);
+            let w4 = run_parserhawk_portfolio(&case.spec, dev, budget, 4, assume_cores);
+
+            let (races, imported) = {
+                let (r2, i2) = portfolio_totals(&w2);
+                let (r4, i4) = portfolio_totals(&w4);
+                (r2 + r4, i2 + i4)
+            };
+            // Pairs where both legs finish under the floor sit at timer
+            // resolution — their ratio is noise (queries below the hardness
+            // gate run identical code), so they are shown but kept out of
+            // the aggregates.
+            const GEOMEAN_FLOOR_S: f64 = 0.1;
+            let mut speed_cell = |on: &RunResult, acc: &mut Vec<(f64, bool)>| -> String {
+                let measurable = off.time.as_secs_f64() >= GEOMEAN_FLOOR_S
+                    || on.time.as_secs_f64() >= GEOMEAN_FLOOR_S;
+                if on.ok() && off.ok() {
+                    let s = off.time.as_secs_f64() / on.time.as_secs_f64().max(1e-3);
+                    if measurable {
+                        acc.push((s, false));
+                        format!("{s:.2}x")
+                    } else {
+                        unmeasured += 1;
+                        format!("({s:.2}x)")
+                    }
+                } else if on.ok() && off.timed_out {
+                    let s = budget.as_secs_f64() / on.time.as_secs_f64().max(1e-3);
+                    acc.push((s, true));
+                    format!(">{s:.2}x")
+                } else {
+                    "-".into()
+                }
+            };
+            let sp2 = speed_cell(&w2, &mut speedups_w2);
+            let sp4 = speed_cell(&w4, &mut speedups_w4);
+            println!(
+                "{:<34} {:<7} | {:>8} {:>8} {:>8} | {:>8} {:>8} | {:>6} {:>8}",
+                case.name,
+                dev_name,
+                off.time_cell(budget),
+                w2.time_cell(budget),
+                w4.time_cell(budget),
+                sp2,
+                sp4,
+                races,
+                imported
+            );
+
+            rows_json.push(
+                Json::obj()
+                    .with("name", case.name.as_str())
+                    .with("device", *dev_name)
+                    .with("off", report::run_json(&off, budget))
+                    .with("w2", report::run_json(&w2, budget))
+                    .with("w4", report::run_json(&w4, budget)),
+            );
+        }
+    }
+
+    let (g2, lb2) = geomean(&speedups_w2);
+    let (g4, lb4) = geomean(&speedups_w4);
+    println!(
+        "\ngeometric-mean portfolio speed-up: w2 {}{:.3}x ({} pairs), w4 {}{:.3}x ({} pairs) \
+         ({unmeasured} cells below the {:.0}ms floor, in parentheses above)",
+        if lb2 { ">" } else { "" },
+        g2,
+        speedups_w2.len(),
+        if lb4 { ">" } else { "" },
+        g4,
+        speedups_w4.len(),
+        0.1 * 1e3,
+    );
+    if detected_cores < 2 && assume_cores.is_none() {
+        println!(
+            "note: single core detected — the clamp keeps every leg sequential, so the\n\
+             expected result here is ~1.00x (the portfolio must never cost anything when\n\
+             it cannot help)."
+        );
+    }
+
+    let doc = report::metadata("portfolio_bench")
+        .with("timeout_s", budget.as_secs())
+        .with("filter", filter.as_str())
+        .with("detected_cores", detected_cores as u64)
+        .with(
+            "assumed_cores",
+            match assume_cores {
+                Some(n) => Json::from(n as u64),
+                None => Json::Null,
+            },
+        )
+        .with("rows", Json::Arr(rows_json))
+        .with(
+            "summary",
+            Json::obj()
+                .with("measured_pairs_w2", speedups_w2.len())
+                .with("measured_pairs_w4", speedups_w4.len())
+                .with("below_floor_cells", unmeasured)
+                .with("geomean_speedup_w2", g2)
+                .with("geomean_speedup_w2_is_lower_bound", lb2)
+                .with("geomean_speedup", g4)
+                .with("geomean_is_lower_bound", lb4),
+        );
+    match report::write_results("portfolio_bench", &doc) {
+        Ok(path) => println!("structured results: {}", path.display()),
+        Err(e) => eprintln!("failed to write results file: {e}"),
+    }
+    tracer.flush();
+}

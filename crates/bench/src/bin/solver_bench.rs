@@ -10,6 +10,9 @@
 //! * `PH_SOLVER_BENCH_TIMEOUT_SECS` — per-run wall budget (default 30).
 //! * `PH_SOLVER_BENCH_FILTER` — restrict cases by name substring (CI smoke
 //!   uses this to run a single small case).
+//! * `--jobs N` — run up to N (case, device) pairs concurrently (default 1);
+//!   output order is identical either way.  Note that concurrent jobs share
+//!   cores, so per-leg wall times are only comparable within one job count.
 //!
 //! Besides the stdout table, a machine-readable `results/solver_bench.json`
 //! (see [`ph_bench::report`]) records both runs per case with their full
@@ -17,7 +20,9 @@
 //! variables, subsumed/strengthened clauses, simplification time) — plus a
 //! geometric-mean speed-up summary.  `check_schema` validates the shape.
 
-use ph_bench::{env_secs, geomean, report, run_parserhawk_simplify, RunResult};
+use ph_bench::{
+    env_secs, geomean, jobs_from_args, par_map, report, run_parserhawk_simplify, RunResult,
+};
 use ph_core::OptConfig;
 use ph_hw::DeviceProfile;
 use ph_obs::{Json, Level};
@@ -69,17 +74,32 @@ fn main() {
         ("ipu", DeviceProfile::ipu()),
     ];
 
-    for case in ph_benchmarks::registry() {
-        if !filter.is_empty() && !case.name.contains(&filter) {
-            continue;
-        }
+    let cases: Vec<_> = ph_benchmarks::registry()
+        .into_iter()
+        .filter(|c| filter.is_empty() || c.name.contains(&filter))
+        .collect();
+    let mut units = Vec::new();
+    for case in &cases {
         for (dev_name, dev) in &devices {
-            tracer.msg_with(Level::Info, || {
-                format!("solver_bench: {} on {dev_name}", case.name)
-            });
-            let off = run_parserhawk_simplify(&case.spec, dev, OptConfig::all(), budget, false);
-            let on = run_parserhawk_simplify(&case.spec, dev, OptConfig::all(), budget, true);
+            units.push((case, *dev_name, dev));
+        }
+    }
+    let jobs = jobs_from_args();
+    // Each job runs under its own pair-tagged tracer stream; aggregation and
+    // printing below consume results in registry order regardless of jobs.
+    let runs = par_map(jobs, &units, |(case, dev_name, dev)| {
+        let t = tracer.with_branch(&format!("{}/{dev_name}", case.name));
+        let _g = ph_obs::set_thread_tracer(t.clone());
+        t.msg_with(Level::Info, || {
+            format!("solver_bench: {} on {dev_name}", case.name)
+        });
+        let off = run_parserhawk_simplify(&case.spec, dev, OptConfig::all(), budget, false);
+        let on = run_parserhawk_simplify(&case.spec, dev, OptConfig::all(), budget, true);
+        (off, on)
+    });
 
+    {
+        for ((case, dev_name, _), (off, on)) in units.iter().zip(runs) {
             let (elim, sub, strn, simp_s) = simplify_totals(&on);
             // Pairs where both legs finish under the floor sit at timer
             // resolution — their ratio is noise (when the scheduler never
@@ -140,6 +160,7 @@ fn main() {
     let doc = report::metadata("solver_bench")
         .with("timeout_s", budget.as_secs())
         .with("filter", filter.as_str())
+        .with("jobs", jobs as u64)
         .with("rows", Json::Arr(rows_json))
         .with(
             "summary",

@@ -9,7 +9,9 @@
 //!
 //! `PH_OPT_TIMEOUT_SECS` / `PH_ORIG_TIMEOUT_SECS` adjust budgets; the naive
 //! column prints `>N` on timeout like the paper's `>86400` cells.
-//! `PH_TABLE3_FILTER=MPLS` restricts rows by substring.
+//! `PH_TABLE3_FILTER=MPLS` restricts rows by substring.  `--jobs N` runs up
+//! to N cases concurrently (default 1: fully sequential and deterministic);
+//! output order is identical either way.
 //!
 //! Besides the stdout table, a machine-readable
 //! `results/table3.json` (see [`ph_bench::report`]) records every run with
@@ -17,7 +19,8 @@
 //! a JSON-lines trace of the underlying synthesis runs.
 
 use ph_bench::{
-    baseline_ipu, baseline_tofino, env_secs, geomean, report, run_parserhawk, short_failure,
+    baseline_ipu, baseline_tofino, env_secs, geomean, jobs_from_args, par_map, report,
+    run_parserhawk, short_failure,
 };
 use ph_core::OptConfig;
 use ph_hw::DeviceProfile;
@@ -61,11 +64,18 @@ fn main() {
     let mut rows_json: Vec<Json> = Vec::new();
     let tracer = ph_obs::current();
 
-    for case in ph_benchmarks::registry() {
-        if !filter.is_empty() && !case.name.contains(&filter) {
-            continue;
-        }
-        tracer.msg_with(Level::Info, || format!("table3: running {}", case.name));
+    let cases: Vec<_> = ph_benchmarks::registry()
+        .into_iter()
+        .filter(|c| filter.is_empty() || c.name.contains(&filter))
+        .collect();
+    let jobs = jobs_from_args();
+    // Each job runs under its own case-tagged tracer stream, so interleaved
+    // workers stay distinguishable in the trace; printing and aggregation
+    // below consume the results in registry order regardless of jobs.
+    let runs = par_map(jobs, &cases, |case| {
+        let t = tracer.with_branch(&case.name);
+        let _g = ph_obs::set_thread_tracer(t.clone());
+        t.msg_with(Level::Info, || format!("table3: running {}", case.name));
 
         // --- Tofino side -------------------------------------------------
         let ph_t = run_parserhawk(&case.spec, &tofino, OptConfig::all(), opt_budget);
@@ -77,6 +87,10 @@ fn main() {
         let orig_i = run_parserhawk(&case.spec, &ipu, OptConfig::none(), orig_budget);
         let bl_i = baseline_ipu(&case.spec, &ipu);
 
+        (ph_t, orig_t, bl_t, ph_i, orig_i, bl_i)
+    });
+
+    for (case, (ph_t, orig_t, bl_t, ph_i, orig_i, bl_i)) in cases.iter().zip(runs) {
         rows_json.push(
             Json::obj()
                 .with("name", case.name.as_str())
@@ -199,6 +213,7 @@ fn main() {
         .with("opt_timeout_s", opt_budget.as_secs())
         .with("orig_timeout_s", orig_budget.as_secs())
         .with("filter", filter.as_str())
+        .with("jobs", jobs as u64)
         .with("rows", Json::Arr(rows_json))
         .with(
             "summary",

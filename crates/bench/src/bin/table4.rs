@@ -2,10 +2,15 @@
 //! motivating examples under parameterized hardware resources.
 //!
 //! ```text
-//! cargo run -p ph-bench --release --bin table4
+//! cargo run -p ph-bench --release --bin table4 [-- --jobs N]
 //! ```
+//!
+//! `--jobs N` runs up to N rows concurrently (default 1); output order is
+//! identical either way.
 
-use ph_bench::{baseline_dp, env_secs, report, run_parserhawk, short_failure};
+use ph_bench::{
+    baseline_dp, env_secs, jobs_from_args, par_map, report, run_parserhawk, short_failure,
+};
 use ph_benchmarks::registry::motivating_examples;
 use ph_core::OptConfig;
 use ph_hw::DeviceProfile;
@@ -56,15 +61,23 @@ fn main() {
     );
 
     let cases = motivating_examples();
-    for (label, name, device) in rows {
-        let case = cases.iter().find(|c| c.name == name).expect("case");
-        tracer.msg_with(Level::Info, || format!("table4: running {label}"));
-        let ph = run_parserhawk(&case.spec, &device, OptConfig::all(), budget);
-        let dp = baseline_dp(&case.spec, &device);
+    let jobs = jobs_from_args();
+    // Each job gets its own row-tagged tracer stream; results land in row
+    // order regardless of jobs, so the printed table never changes.
+    let runs = par_map(jobs, &rows, |(label, name, device)| {
+        let t = tracer.with_branch(label);
+        let _g = ph_obs::set_thread_tracer(t.clone());
+        t.msg_with(Level::Info, || format!("table4: running {label}"));
+        let case = cases.iter().find(|c| c.name == *name).expect("case");
+        let ph = run_parserhawk(&case.spec, device, OptConfig::all(), budget);
+        let dp = baseline_dp(&case.spec, device);
+        (ph, dp)
+    });
+    for ((label, name, _), (ph, dp)) in rows.iter().zip(runs) {
         rows_json.push(
             Json::obj()
-                .with("name", label)
-                .with("case", name)
+                .with("name", *label)
+                .with("case", *name)
                 .with("parserhawk", report::run_json(&ph, budget))
                 .with("dpparsergen", report::run_json(&dp, budget)),
         );
@@ -90,6 +103,7 @@ fn main() {
 
     let doc = report::metadata("table4")
         .with("opt_timeout_s", budget.as_secs())
+        .with("jobs", jobs as u64)
         .with("rows", Json::Arr(rows_json));
     match report::write_results("table4", &doc) {
         Ok(path) => println!("\nstructured results: {}", path.display()),

@@ -3,10 +3,13 @@
 //! three benchmarks the paper selects.
 //!
 //! ```text
-//! cargo run -p ph-bench --release --bin table5
+//! cargo run -p ph-bench --release --bin table5 [-- --jobs N]
 //! ```
+//!
+//! `--jobs N` runs up to N (benchmark, device, config) cells concurrently
+//! (default 1); output order is identical either way.
 
-use ph_bench::{env_secs, report, run_parserhawk};
+use ph_bench::{env_secs, jobs_from_args, par_map, report, run_parserhawk};
 use ph_benchmarks::suite;
 use ph_core::OptConfig;
 use ph_hw::DeviceProfile;
@@ -30,21 +33,40 @@ fn main() {
         "", "Other(s)", "+OPT5(s)", "+OPT4,5(s)", "Other(s)", "+OPT5(s)", "+OPT4,5(s)"
     );
 
+    // Flatten to (benchmark, device, config) cells so `--jobs` load-balances
+    // across all 18 runs; the grouped row structure is rebuilt in order
+    // below, so the printed table and JSON never change with jobs.
+    let devices = [
+        ("tofino", DeviceProfile::tofino()),
+        ("ipu", DeviceProfile::ipu()),
+    ];
+    let mut units = Vec::new();
     for b in &benches {
+        for (dev_name, dev) in &devices {
+            for (cfg_name, opts) in configs {
+                units.push((b, *dev_name, dev, cfg_name, opts));
+            }
+        }
+    }
+    let jobs = jobs_from_args();
+    let runs = par_map(jobs, &units, |(b, dev_name, dev, cfg_name, opts)| {
+        let t = tracer.with_branch(&format!("{}/{dev_name}/{cfg_name}", b.name));
+        let _g = ph_obs::set_thread_tracer(t.clone());
+        t.msg_with(Level::Info, || {
+            format!("table5: {} / {dev_name} / {cfg_name}", b.name)
+        });
+        run_parserhawk(&b.spec, dev, *opts, budget)
+    });
+
+    let per_bench = devices.len() * configs.len();
+    for (b, chunk) in benches.iter().zip(runs.chunks(per_bench)) {
         let mut cells = Vec::new();
         let mut row = Json::obj().with("name", b.name);
-        for (dev_name, dev) in [
-            ("tofino", DeviceProfile::tofino()),
-            ("ipu", DeviceProfile::ipu()),
-        ] {
+        for ((dev_name, _), dev_chunk) in devices.iter().zip(chunk.chunks(configs.len())) {
             let mut dev_json = Json::obj();
-            for (cfg_name, opts) in configs {
-                tracer.msg_with(Level::Info, || {
-                    format!("table5: {} / {dev_name} / {cfg_name}", b.name)
-                });
-                let r = run_parserhawk(&b.spec, &dev, opts, budget);
+            for ((cfg_name, _), r) in configs.iter().zip(dev_chunk) {
                 cells.push(r.time_cell(budget));
-                dev_json = dev_json.with(cfg_name, report::run_json(&r, budget));
+                dev_json = dev_json.with(cfg_name, report::run_json(r, budget));
             }
             row = row.with(dev_name, dev_json);
         }
@@ -61,6 +83,7 @@ fn main() {
 
     let doc = report::metadata("table5")
         .with("ablation_timeout_s", budget.as_secs())
+        .with("jobs", jobs as u64)
         .with("rows", Json::Arr(rows_json));
     match report::write_results("table5", &doc) {
         Ok(path) => println!("\nstructured results: {}", path.display()),

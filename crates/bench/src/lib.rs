@@ -94,7 +94,43 @@ pub fn run_parserhawk_simplify(
             ..Default::default()
         })
         .synthesize(spec);
-    let time = t0.elapsed();
+    finish_run(r, t0.elapsed())
+}
+
+/// [`run_parserhawk`] with explicit control over the SAT portfolio — the
+/// `portfolio_bench` binary uses this to measure clause-sharing races at
+/// several widths on identical workloads.  `width < 2` disables the
+/// portfolio outright (the feature gate, not just width 1, so the solver
+/// never even snapshots); `cores` overrides the detected core count for the
+/// single-core clamp (CI smoke on small machines).
+pub fn run_parserhawk_portfolio(
+    spec: &ParserSpec,
+    device: &DeviceProfile,
+    timeout: Duration,
+    width: usize,
+    cores: Option<usize>,
+) -> RunResult {
+    // Opt7 racing would share the machine with the portfolio and blur the
+    // attribution, so it is off for both legs of this measurement.
+    let opts = OptConfig {
+        opt7_parallel: false,
+        portfolio: width >= 2,
+        ..OptConfig::all()
+    };
+    let t0 = Instant::now();
+    let r = Synthesizer::new(device.clone(), opts)
+        .with_params(SynthParams {
+            timeout: Some(timeout),
+            portfolio_width: (width >= 2).then_some(width),
+            portfolio_cores: cores,
+            ..Default::default()
+        })
+        .synthesize(spec);
+    finish_run(r, t0.elapsed())
+}
+
+/// Shared result shaping for the ParserHawk runners.
+fn finish_run(r: Result<ph_core::SynthOutput, SynthError>, time: Duration) -> RunResult {
     match r {
         Ok(out) => RunResult {
             entries: Some(out.program.entry_count()),
@@ -124,6 +160,68 @@ pub fn run_parserhawk_simplify(
             stats: None,
         },
     }
+}
+
+/// Parses `--jobs N` (or `--jobs=N`) from the process arguments; defaults
+/// to 1 (fully sequential, the deterministic path).
+pub fn jobs_from_args() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let val = if a == "--jobs" {
+            args.next()
+        } else {
+            a.strip_prefix("--jobs=").map(str::to_string)
+        };
+        if let Some(v) = val {
+            match v.parse::<usize>() {
+                Ok(n) => return n.max(1),
+                Err(_) => {
+                    eprintln!("ignoring unparsable --jobs value {v:?}");
+                    return 1;
+                }
+            }
+        }
+    }
+    1
+}
+
+/// Order-preserving parallel map over a work list: up to `jobs` worker
+/// threads pull items off a shared index and results land at their item's
+/// position, so downstream printing/aggregation stays byte-identical to the
+/// sequential order.  `jobs <= 1` runs inline with no threads at all.
+pub fn par_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if jobs <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let slots: Vec<std::sync::Mutex<Option<R>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap()
+                .expect("every slot is filled before the scope exits")
+        })
+        .collect()
 }
 
 /// Runs a baseline compiler closure, capturing failures as annotations.

@@ -1,0 +1,105 @@
+//! Determinism of the benchmark pipeline with the portfolio disabled.
+//!
+//! With `PH_PORTFOLIO=0` (and equally: by default on a single core, where
+//! the clamp keeps every solve sequential) two identical `table3` runs must
+//! produce byte-identical `results/table3.json` once timing and provenance
+//! fields are scrubbed — wall-clock durations and the generation stamp are
+//! the only things allowed to differ between runs.
+
+use ph_obs::Json;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Fields that legitimately vary between identical runs: wall-clock
+/// durations (timing) and the file header's generation stamp (provenance).
+const VOLATILE_KEYS: &[&str] = &[
+    "time_s",
+    "synth_time_s",
+    "verify_time_s",
+    "shrink_time_s",
+    "wall_s",
+    "simplify_time_ns",
+    // Derived from wall-clock ratios, so timing too.
+    "geomean_speedup",
+    "generated_unix",
+    "git",
+];
+
+/// Rebuilds the document without the volatile fields, everywhere.  A
+/// timed-out run's whole `stats` payload is volatile — the watchdog fires
+/// on wall clock, so the counters freeze at a run-dependent point — while
+/// its verdict (`timed_out: true`, null outputs) must still reproduce.
+fn scrub(v: &Json) -> Json {
+    if let Some(fields) = v.as_obj() {
+        let timed_out = fields
+            .iter()
+            .any(|(k, c)| k == "timed_out" && *c == Json::Bool(true));
+        let mut o = Json::obj();
+        for (k, child) in fields {
+            if VOLATILE_KEYS.contains(&k.as_str()) || (timed_out && k == "stats") {
+                continue;
+            }
+            o = o.with(k, scrub(child));
+        }
+        o
+    } else if let Some(items) = v.as_arr() {
+        Json::Arr(items.iter().map(scrub).collect())
+    } else {
+        v.clone()
+    }
+}
+
+fn run_table3(dir: &PathBuf) -> Json {
+    std::fs::create_dir_all(dir).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_table3"))
+        .env("PH_PORTFOLIO", "0")
+        .env("PH_RESULTS_DIR", dir)
+        .env("PH_TABLE3_FILTER", "Parse Ethernet - R3")
+        .env("PH_OPT_TIMEOUT_SECS", "60")
+        // The naive encoding times out on every budget we can afford here;
+        // keep that leg short — its stats are scrubbed as volatile anyway.
+        .env("PH_ORIG_TIMEOUT_SECS", "1")
+        .env_remove("PH_TRACE")
+        .output()
+        .expect("table3 binary runs");
+    assert!(
+        out.status.success(),
+        "table3 failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(dir.join("table3.json")).expect("results file written");
+    Json::parse(&text).expect("results file parses")
+}
+
+#[test]
+fn table3_with_portfolio_killed_is_deterministic() {
+    let base = std::env::temp_dir().join(format!("ph-determinism-{}", std::process::id()));
+    let a = run_table3(&base.join("a"));
+    let b = run_table3(&base.join("b"));
+    let _ = std::fs::remove_dir_all(&base);
+    assert_eq!(
+        scrub(&a).to_pretty(),
+        scrub(&b).to_pretty(),
+        "two identical table3 runs diverged beyond timing/provenance fields"
+    );
+}
+
+/// Width 1 must be the very same sequential path as portfolio-off: identical
+/// scrubbed run records, in process, on a real case.
+#[test]
+fn portfolio_width_one_equals_off() {
+    use ph_bench::{report, run_parserhawk_portfolio};
+    use std::time::Duration;
+
+    let b = ph_benchmarks::suite::dash_v1();
+    let dev = ph_hw::DeviceProfile::tofino();
+    let budget = Duration::from_secs(60);
+    let off = run_parserhawk_portfolio(&b.spec, &dev, budget, 0, None);
+    let w1 = run_parserhawk_portfolio(&b.spec, &dev, budget, 1, None);
+    assert!(off.ok(), "{:?}", off.failure);
+    assert_eq!(
+        scrub(&report::run_json(&off, budget)).to_pretty(),
+        scrub(&report::run_json(&w1, budget)).to_pretty(),
+        "width 1 took a different path than portfolio-off"
+    );
+}

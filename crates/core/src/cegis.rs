@@ -201,6 +201,23 @@ pub fn synthesize_one(
             .map_err(SynthError::Unsupported)?
     };
 
+    // Portfolio width for hard SAT queries.  `OptConfig::portfolio` is the
+    // feature gate; an explicit `SynthParams::portfolio_width` wins (the Opt7
+    // race sets it to its per-branch core share), otherwise every available
+    // core is offered and the solver's own hardness gate plus the
+    // single-core clamp decide whether a race ever actually starts.
+    let portfolio_width = if !opts.portfolio {
+        1
+    } else {
+        params.portfolio_width.unwrap_or_else(|| {
+            params.portfolio_cores.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+        })
+    };
+
     run_cegis(
         &working_spec,
         &reduced.spec,
@@ -208,9 +225,19 @@ pub fn synthesize_one(
         device,
         params,
         bounds,
+        portfolio_width,
         flag,
         t0,
     )
+}
+
+/// Rolls the per-solver portfolio counters up into the run-level stats.
+/// Called wherever `synth_sat`/`verify_sat` snapshots are taken so every
+/// exit path reports them.
+fn fill_portfolio_counters(stats: &mut SynthStats) {
+    stats.portfolio_races = stats.synth_sat.portfolio_solves + stats.verify_sat.portfolio_solves;
+    stats.portfolio_clauses_imported =
+        stats.synth_sat.portfolio_imported + stats.verify_sat.portfolio_imported;
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -221,6 +248,7 @@ fn run_cegis(
     device: &DeviceProfile,
     params: &SynthParams,
     bounds: Bounds,
+    portfolio_width: usize,
     flag: Arc<AtomicBool>,
     t0: Instant,
 ) -> Result<SynthOutput, SynthError> {
@@ -234,6 +262,8 @@ fn run_cegis(
     let mut smt = Smt::new();
     smt.set_interrupt(Some(flag.clone()));
     smt.set_simplify(params.simplify);
+    smt.set_portfolio_width(portfolio_width);
+    smt.set_portfolio_cores(params.portfolio_cores);
     let vars = build_vars(&mut smt, shape, device);
     stats.search_space_bits = vars.search_space_bits;
     tracer.gauge("cegis.search_space_bits", vars.search_space_bits as u64);
@@ -245,6 +275,8 @@ fn run_cegis(
     let tv = Instant::now();
     let mut verifier = IncrementalVerifier::new(shape, red_spec, l, k_impl, k_spec, &flag)?;
     verifier.set_simplify(params.simplify);
+    verifier.set_portfolio_width(portfolio_width);
+    verifier.set_portfolio_cores(params.portfolio_cores);
     stats.verify_solver_builds += 1;
     stats.verify_time += tv.elapsed();
 
@@ -342,6 +374,7 @@ fn run_cegis(
                 stats.wall = t0.elapsed();
                 stats.synth_sat = smt.solver_stats();
                 stats.verify_sat = verifier.solver_stats();
+                fill_portfolio_counters(&mut stats);
                 return finish_or_timeout(best, shape, orig_spec, device, params, stats);
             }
             stats.cegis_iterations += 1;
@@ -445,6 +478,7 @@ fn run_cegis(
     stats.wall = t0.elapsed();
     stats.synth_sat = smt.solver_stats();
     stats.verify_sat = verifier.solver_stats();
+    fill_portfolio_counters(&mut stats);
     tracer.msg_with(Level::Info, || {
         format!(
             "cegis done: {} iterations, {} test cases, {} budget levels in {:.3}s",
@@ -548,6 +582,20 @@ impl<'a> IncrementalVerifier<'a> {
     /// literals).
     pub fn set_simplify(&mut self, on: bool) {
         self.smt.set_simplify(on);
+    }
+
+    /// Sets the portfolio race width for hard verification queries (see
+    /// [`ph_smt::Smt::set_portfolio_width`]; `0`/`1` keep the solver
+    /// sequential).
+    pub fn set_portfolio_width(&mut self, width: usize) {
+        self.smt.set_portfolio_width(width);
+    }
+
+    /// Overrides the detected core count for the portfolio clamp (testing
+    /// hook; `None` restores autodetection).
+    #[doc(hidden)]
+    pub fn set_portfolio_cores(&mut self, cores: Option<usize>) {
+        self.smt.set_portfolio_cores(cores);
     }
 
     /// Checks one candidate: UNSAT under the pin assumptions means no input

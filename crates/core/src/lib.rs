@@ -67,6 +67,10 @@ pub struct OptConfig {
     pub opt6_fixed_varbit: bool,
     /// Opt7: race loop-aware and loop-free skeletons in parallel.
     pub opt7_parallel: bool,
+    /// Portfolio SAT solving: race diversified solver workers on hard
+    /// CEGIS queries and import the winner's learned clauses (see
+    /// [`ph_sat::Solver::solve_portfolio`]).
+    pub portfolio: bool,
 }
 
 impl OptConfig {
@@ -80,6 +84,7 @@ impl OptConfig {
             opt5_grouping: true,
             opt6_fixed_varbit: true,
             opt7_parallel: true,
+            portfolio: true,
         }
     }
 
@@ -95,6 +100,7 @@ impl OptConfig {
             opt5_grouping: false,
             opt6_fixed_varbit: true,
             opt7_parallel: false,
+            portfolio: false,
         }
     }
 
@@ -138,6 +144,15 @@ pub struct SynthParams {
     /// streams from it); `None` inherits the ambient [`ph_obs::current`]
     /// tracer, which defaults to the `PH_TRACE` environment configuration.
     pub tracer: Option<ph_obs::Tracer>,
+    /// Portfolio width for hard SAT queries when [`OptConfig::portfolio`]
+    /// is on.  `None` (the default) divides the available cores by the
+    /// number of active Opt7 race branches; `Some(w)` forces width `w`.
+    /// Ignored (sequential) when the opt flag is off; `PH_PORTFOLIO` in
+    /// the environment overrides both.
+    pub portfolio_width: Option<usize>,
+    /// Testing hook: pretend the machine has this many cores for the
+    /// portfolio's single-core clamp and auto-width computation.
+    pub portfolio_cores: Option<usize>,
 }
 
 impl Default for SynthParams {
@@ -150,6 +165,8 @@ impl Default for SynthParams {
             seed: 0x9aa5,
             simplify: true,
             tracer: None,
+            portfolio_width: None,
+            portfolio_cores: None,
         }
     }
 }
@@ -197,6 +214,11 @@ pub struct SynthStats {
     /// The most conflicts any single verification query needed — the
     /// worst-case incremental `check_assuming` cost.
     pub max_verify_conflicts: u64,
+    /// Portfolio races run across both SAT engines (hard queries escalated
+    /// to diversified parallel workers).
+    pub portfolio_races: u64,
+    /// Learned clauses imported back from winning portfolio workers.
+    pub portfolio_clauses_imported: u64,
 }
 
 /// [`SolverStats`] as a JSON object.
@@ -213,6 +235,8 @@ fn solver_stats_json(s: &SolverStats) -> Json {
         .with("strengthened_clauses", s.strengthened_clauses)
         .with("failed_literals", s.failed_literals)
         .with("simplify_time_ns", s.simplify_time_ns)
+        .with("portfolio_solves", s.portfolio_solves)
+        .with("portfolio_imported", s.portfolio_imported)
 }
 
 impl SynthStats {
@@ -236,6 +260,11 @@ impl SynthStats {
             .with("synth_sat", solver_stats_json(&self.synth_sat))
             .with("verify_sat", solver_stats_json(&self.verify_sat))
             .with("max_verify_conflicts", self.max_verify_conflicts)
+            .with("portfolio_races", self.portfolio_races)
+            .with(
+                "portfolio_clauses_imported",
+                self.portfolio_clauses_imported,
+            )
     }
 }
 

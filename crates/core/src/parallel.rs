@@ -40,13 +40,21 @@ pub fn synthesize_racing(
     // The paper's server pool assigns one core per sub-problem; on a
     // single-core machine racing only multiplies work, so fall back to the
     // loop-free skeleton (the natural fit for a loop-free spec).
-    if std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        < 2
-    {
+    let cores = params.portfolio_cores.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    if cores < 2 {
         return synthesize_one(spec, device, opts, params, LoopMode::LoopFree, None);
     }
+
+    // Core-budget split against the SAT portfolio: the two race branches
+    // divide the machine, so each branch's portfolio (if it wasn't sized
+    // explicitly) gets half the cores.  With 2–3 cores that yields width 1,
+    // i.e. the portfolio stays off while Opt7 is racing — the race itself
+    // is the parallelism.
+    let branch_portfolio_width = params.portfolio_width.unwrap_or_else(|| (cores / 2).max(1));
 
     let flag_free = Arc::new(AtomicBool::new(false));
     let flag_loopy = Arc::new(AtomicBool::new(false));
@@ -69,6 +77,7 @@ pub fn synthesize_racing(
                 // under synthesize_one (cegis, smt) inherits it.
                 let mut branch_params = params.clone();
                 branch_params.tracer = Some(branch_tracer.clone());
+                branch_params.portfolio_width = Some(branch_portfolio_width);
                 let _g = ph_obs::set_thread_tracer(branch_tracer.clone());
                 let r = synthesize_one(spec, device, opts, &branch_params, mode, Some(mine));
                 if r.is_ok() {

@@ -1,0 +1,777 @@
+//! Portfolio solving for hard queries, with learned-clause sharing.
+//!
+//! [`Solver::solve_portfolio`] is a drop-in replacement for
+//! [`Solver::solve_with_assumptions`] that escalates *hard* calls to a race
+//! of diversified workers:
+//!
+//! 1. **Sequential prefix.**  The call first runs on the master solver with
+//!    its conflict budget clamped to the hardness gate (the same
+//!    `max_call_conflicts`-style threshold the simplification scheduler
+//!    uses).  Queries that finish inside the gate — the vast majority of a
+//!    CEGIS stream — never pay for snapshotting or threads, and execute
+//!    bit-identically to a plain solve.
+//! 2. **Race.**  A call that exhausts the prefix is hard: the master's
+//!    clause database (problem clauses, top-level units, live learned
+//!    clauses) is snapshotted and K workers race on it under
+//!    [`std::thread::scope`], each diversified along independent axes —
+//!    decision seed (randomized VSIDS activities), phase-saving polarity,
+//!    Luby restart scale and VSIDS decay.  The first definitive verdict
+//!    trips a shared interrupt flag that stops the others; the master's own
+//!    interrupt flag (CEGIS watchdog, Opt7 loser cancellation) is relayed
+//!    into the race by a monitor loop.
+//! 3. **Import.**  The winner's top-level units and short learned clauses
+//!    (LBD/length-filtered) are imported back into the persistent master as
+//!    learnt clauses, so later incremental queries in the same CEGIS run
+//!    inherit the race's work.
+//!
+//! Soundness: workers see exactly the master's post-simplification clause
+//! database and never create variables, so everything they learn is implied
+//! by the master's formula and mentions only master-visible variables
+//! (clauses over master-eliminated variables cannot occur — elimination
+//! removed every such clause before the snapshot, and the import filter
+//! re-checks defensively).  A SAT model is installed on the master trail
+//! and completed by [`Solver::extend_model`], exactly like a sequential SAT
+//! verdict.
+//!
+//! `PH_PORTFOLIO=0` is the kill switch (`PH_PORTFOLIO=N` forces width `N`);
+//! with fewer than two available cores, a width below 2, or a query below
+//! the gate, behaviour is bit-identical to the sequential solver.
+
+use crate::lit::{Lit, Var};
+use crate::solver::{LBool, SolveResult, Solver, SolverStats, REASON_NONE};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// Learned clauses longer than this are not imported from a winner.
+const IMPORT_MAX_LEN: usize = 8;
+/// Learned clauses with a higher LBD than this are not imported.
+const IMPORT_MAX_LBD: u32 = 6;
+/// At most this many clauses are imported from one race.
+const IMPORT_MAX_CLAUSES: usize = 2048;
+/// Monitor-loop poll interval while a race is in flight.
+const MONITOR_POLL: Duration = Duration::from_micros(200);
+
+/// `PH_PORTFOLIO` override: `Some(0)` kills the portfolio, `Some(n)` forces
+/// width `n`, `None` (unset or empty) defers to the configured width.
+fn env_width_override() -> Option<usize> {
+    static V: OnceLock<Option<usize>> = OnceLock::new();
+    *V.get_or_init(|| match std::env::var("PH_PORTFOLIO") {
+        Err(_) => None,
+        Ok(v) if v.is_empty() => None,
+        // Unparsable values disable rather than surprise.
+        Ok(v) => Some(v.parse::<usize>().unwrap_or(0)),
+    })
+}
+
+fn available_cores() -> usize {
+    static V: OnceLock<usize> = OnceLock::new();
+    *V.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// A frozen copy of everything a worker needs to reproduce the master's
+/// search problem: the clause database (with top-level units), the live
+/// learned clauses, and the variable metadata that keeps the worker's own
+/// simplifier honest about the external interface.
+pub struct SolverSnapshot {
+    num_vars: usize,
+    /// Problem clauses plus top-level unit facts.
+    clauses: Vec<Vec<Lit>>,
+    /// Live learned clauses with their stored LBD.
+    learnts: Vec<(Vec<Lit>, u32)>,
+    /// Interface variables the worker must not eliminate.
+    frozen: Vec<bool>,
+    /// Variables the master already eliminated; workers never branch on
+    /// them and never see clauses mentioning them.
+    eliminated: Vec<bool>,
+    simplify_enabled: bool,
+    /// Hardness evidence, inherited so worker inprocessing stays armed.
+    max_call_conflicts: u64,
+}
+
+impl SolverSnapshot {
+    /// Number of variables in the snapshotted solver.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of snapshotted problem clauses (including unit facts).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Number of snapshotted learned clauses.
+    pub fn num_learnts(&self) -> usize {
+        self.learnts.len()
+    }
+}
+
+/// How one worker's search is diversified relative to the master.
+#[derive(Clone, Copy, Debug)]
+struct WorkerConfig {
+    seed: u64,
+    phase: PhaseInit,
+    restart_scale: u64,
+    var_decay: f64,
+    random_activity: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum PhaseInit {
+    AllFalse,
+    AllTrue,
+    Random,
+}
+
+impl WorkerConfig {
+    /// Deterministic per-slot configuration.  Worker 0 replicates the
+    /// master's own strategy so the race never does worse than a longer
+    /// sequential run; the others spread out along the diversification
+    /// axes.
+    fn diversified(i: usize) -> WorkerConfig {
+        let seed = 0x9aa5_0000_u64 ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        match i {
+            0 => WorkerConfig {
+                seed,
+                phase: PhaseInit::AllFalse,
+                restart_scale: 100,
+                var_decay: 0.95,
+                random_activity: false,
+            },
+            1 => WorkerConfig {
+                seed,
+                phase: PhaseInit::AllTrue,
+                restart_scale: 100,
+                var_decay: 0.95,
+                random_activity: false,
+            },
+            2 => WorkerConfig {
+                seed,
+                phase: PhaseInit::Random,
+                restart_scale: 200,
+                var_decay: 0.90,
+                random_activity: false,
+            },
+            3 => WorkerConfig {
+                seed,
+                phase: PhaseInit::AllFalse,
+                restart_scale: 50,
+                var_decay: 0.97,
+                random_activity: true,
+            },
+            _ => {
+                let mut rng = ph_bits::Rng::seed_from_u64(seed);
+                const SCALES: [u64; 5] = [50, 100, 150, 200, 300];
+                WorkerConfig {
+                    seed,
+                    phase: PhaseInit::Random,
+                    restart_scale: SCALES[rng.gen_range(0..SCALES.len())],
+                    var_decay: 0.85 + 0.01 * rng.gen_range(0..=13u64) as f64,
+                    random_activity: rng.gen_bool(0.5),
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of one worker in the most recent race, exposed for benchmarks
+/// and observability.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerReport {
+    /// Worker slot (0-based).
+    pub worker: usize,
+    /// Diversification seed the slot ran with.
+    pub seed: u64,
+    /// The worker's verdict (`Unknown` = lost the race or ran out of
+    /// budget).
+    pub result: SolveResult,
+    /// Whether this worker's verdict was the one used.
+    pub winner: bool,
+    /// The worker's own search statistics.
+    pub stats: SolverStats,
+}
+
+/// Everything a finished worker hands back to the master.
+struct WorkerOutcome {
+    result: SolveResult,
+    /// Model values per variable when `result == Sat` (`None` for
+    /// variables the worker never assigned — master-eliminated ones).
+    model: Vec<Option<bool>>,
+    /// Top-level unit facts the worker derived.
+    units: Vec<Lit>,
+    /// Short learned clauses (filtered, quality-sorted, capped).
+    learnts: Vec<(Vec<Lit>, u32)>,
+    stats: SolverStats,
+}
+
+fn run_worker(
+    snap: &SolverSnapshot,
+    assumptions: &[Lit],
+    cfg: &WorkerConfig,
+    stop: Arc<AtomicBool>,
+    budget: Option<u64>,
+) -> WorkerOutcome {
+    let mut s = Solver::from_snapshot(snap, cfg);
+    s.set_interrupt(Some(stop));
+    s.set_conflict_budget(budget);
+    let result = s.solve_with_assumptions(assumptions);
+    let model = if result == SolveResult::Sat {
+        (0..s.num_vars()).map(|v| s.value(Var(v as u32))).collect()
+    } else {
+        Vec::new()
+    };
+    let (units, learnts) = s.export_for_import();
+    WorkerOutcome {
+        result,
+        model,
+        units,
+        learnts,
+        stats: s.stats(),
+    }
+}
+
+impl Solver {
+    /// Sets the worker count for [`Solver::solve_portfolio`].  Below 2 the
+    /// portfolio is off; `PH_PORTFOLIO` in the environment overrides this
+    /// (`0` kills it, `N` forces width `N`).
+    pub fn set_portfolio_width(&mut self, width: usize) {
+        self.portfolio_width = width;
+    }
+
+    /// The configured portfolio width (before the environment override).
+    pub fn portfolio_width(&self) -> usize {
+        self.portfolio_width
+    }
+
+    /// Sets the hardness gate: a call escalates to a race only after
+    /// spending this many conflicts sequentially.  Defaults to the
+    /// simplification scheduler's threshold; tests lower it to force races
+    /// on small instances.
+    pub fn set_portfolio_min_conflicts(&mut self, conflicts: u64) {
+        self.portfolio_min_conflicts = conflicts;
+    }
+
+    /// Per-worker reports from the most recent race ran by
+    /// [`Solver::solve_portfolio`] (empty when the last call stayed
+    /// sequential).
+    pub fn last_portfolio(&self) -> &[WorkerReport] {
+        &self.last_portfolio
+    }
+
+    /// Testing hook: pretend the machine has `cores` CPUs for the
+    /// single-core portfolio clamp (`None` restores OS detection).  Lets
+    /// the race machinery be exercised deterministically on small boxes.
+    #[doc(hidden)]
+    pub fn set_portfolio_cores(&mut self, cores: Option<usize>) {
+        self.portfolio_cores = cores;
+    }
+
+    fn effective_portfolio_width(&self) -> usize {
+        let w = env_width_override().unwrap_or(self.portfolio_width);
+        let cores = self.portfolio_cores.unwrap_or_else(available_cores);
+        if w >= 2 && cores >= 2 {
+            w
+        } else {
+            w.min(1)
+        }
+    }
+
+    /// [`Solver::solve_with_assumptions`] with portfolio escalation: easy
+    /// calls (and any call when the width is below 2, `PH_PORTFOLIO=0`, or
+    /// only one core is available) run bit-identically to the sequential
+    /// solver; calls that cross the hardness gate race diversified workers
+    /// and import the winner's short learned clauses.
+    pub fn solve_portfolio(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.last_portfolio.clear();
+        let width = self.effective_portfolio_width();
+        if width < 2 || !self.ok {
+            return self.solve_with_assumptions(assumptions);
+        }
+        // Phase 1: sequential prefix, clamped to the hardness gate.
+        let user_budget = self.budget;
+        let gate = self.portfolio_min_conflicts.max(1);
+        let prefix = user_budget.map_or(gate, |b| b.min(gate));
+        self.budget = Some(prefix);
+        let r = self.solve_with_assumptions(assumptions);
+        self.budget = user_budget;
+        if r != SolveResult::Unknown || !self.ok || self.interrupted() {
+            return r;
+        }
+        if let Some(b) = user_budget {
+            if prefix >= b {
+                return r; // the caller's own budget is exhausted
+            }
+        }
+        // Phase 2: the call is hard — race.
+        let remaining = user_budget.map(|b| b - prefix);
+        self.race(assumptions, width, remaining)
+    }
+
+    fn race(&mut self, assumptions: &[Lit], width: usize, budget: Option<u64>) -> SolveResult {
+        let tracer = ph_obs::current();
+        let _span = tracer.span("portfolio.solve");
+        tracer.gauge("portfolio.width", width as u64);
+
+        let snap = self.snapshot();
+        let stop = Arc::new(AtomicBool::new(false));
+        let running = Arc::new(AtomicUsize::new(width));
+        let winner = Arc::new(AtomicUsize::new(usize::MAX));
+        let master_interrupt = self.interrupt.clone();
+
+        let mut outcomes: Vec<WorkerOutcome> = std::thread::scope(|s| {
+            let snap_ref = &snap;
+            let handles: Vec<_> = (0..width)
+                .map(|i| {
+                    let stop = Arc::clone(&stop);
+                    let running = Arc::clone(&running);
+                    let winner = Arc::clone(&winner);
+                    let tracer = tracer.clone();
+                    s.spawn(move || {
+                        let _guard =
+                            ph_obs::set_thread_tracer(tracer.with_branch(&format!("portfolio{i}")));
+                        let cfg = WorkerConfig::diversified(i);
+                        let out =
+                            run_worker(snap_ref, assumptions, &cfg, Arc::clone(&stop), budget);
+                        if out.result != SolveResult::Unknown
+                            && winner
+                                .compare_exchange(usize::MAX, i, Ordering::SeqCst, Ordering::SeqCst)
+                                .is_ok()
+                        {
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                        running.fetch_sub(1, Ordering::Release);
+                        out
+                    })
+                })
+                .collect();
+            // Relay the master's interrupt (CEGIS watchdog, Opt7 loser
+            // cancellation) into the race so an external cancel does not
+            // wait for a worker verdict.
+            while running.load(Ordering::Acquire) > 0 {
+                if let Some(f) = &master_interrupt {
+                    if f.load(Ordering::Relaxed) {
+                        stop.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+                std::thread::sleep(MONITOR_POLL);
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("portfolio worker panicked"))
+                .collect()
+        });
+
+        self.stats.portfolio_solves += 1;
+        tracer.count("portfolio.races", 1);
+        let win_idx = winner.load(Ordering::SeqCst);
+        for (i, o) in outcomes.iter().enumerate() {
+            self.last_portfolio.push(WorkerReport {
+                worker: i,
+                seed: WorkerConfig::diversified(i).seed,
+                result: o.result,
+                winner: i == win_idx,
+                stats: o.stats,
+            });
+        }
+        if win_idx == usize::MAX {
+            // Every worker was interrupted or exhausted the budget.
+            return SolveResult::Unknown;
+        }
+        let win = outcomes.swap_remove(win_idx);
+
+        // Import the winner's units and short learned clauses so later
+        // incremental queries inherit the race's work.
+        let before = self.stats.portfolio_imported;
+        let unit_clauses: Vec<(Vec<Lit>, u32)> = win.units.iter().map(|&l| (vec![l], 1)).collect();
+        self.import_learnt_clauses(&unit_clauses);
+        self.import_learnt_clauses(&win.learnts);
+        tracer.count(
+            "portfolio.imported_clauses",
+            self.stats.portfolio_imported - before,
+        );
+        if tracer.enabled() {
+            tracer.msg_with(ph_obs::Level::Info, || {
+                format!(
+                    "portfolio: worker {win_idx} won with {:?} after {} conflicts",
+                    win.result, win.stats.conflicts
+                )
+            });
+        }
+
+        match win.result {
+            SolveResult::Sat => {
+                if !self.ok {
+                    // Imported clauses can only contradict at the top level
+                    // when the formula is genuinely unsatisfiable, which a
+                    // Sat verdict rules out.
+                    debug_assert!(false, "import contradicted a Sat verdict");
+                    return SolveResult::Unsat;
+                }
+                self.install_model(&win.model);
+                SolveResult::Sat
+            }
+            SolveResult::Unsat => SolveResult::Unsat,
+            SolveResult::Unknown => unreachable!("winner index implies a definitive verdict"),
+        }
+    }
+
+    /// Installs a worker's SAT model on the master trail, mirroring what a
+    /// sequential SAT verdict leaves behind: one open decision level
+    /// holding the assignment, then [`Solver::extend_model`] for variables
+    /// the master eliminated.
+    fn install_model(&mut self, model: &[Option<bool>]) {
+        self.cancel_until(0);
+        debug_assert_eq!(model.len(), self.num_vars());
+        self.trail_lim.push(self.trail.len());
+        for (v, assigned) in model.iter().enumerate() {
+            if self.assigns[v] != LBool::Undef || self.eliminated[v] {
+                continue;
+            }
+            // Workers assign every master-visible variable on Sat; `None`
+            // can only reach here through a master-eliminated slot, but an
+            // arbitrary value keeps even that case well-formed.
+            let value = assigned.unwrap_or(false);
+            self.enqueue(Lit::new(Var(v as u32), !value), REASON_NONE);
+        }
+        self.qhead = self.trail.len();
+        self.extend_model();
+    }
+
+    /// Captures the master's live clause database for portfolio workers.
+    pub fn snapshot(&self) -> SolverSnapshot {
+        let mut learnts: Vec<(Vec<Lit>, u32)> = self
+            .clauses
+            .iter()
+            .filter(|c| c.learnt && !c.deleted)
+            .map(|c| (c.lits.clone(), c.lbd))
+            .collect();
+        learnts.sort_by_key(|(lits, lbd)| (*lbd, lits.len()));
+        SolverSnapshot {
+            num_vars: self.num_vars(),
+            clauses: self.export_clauses(),
+            learnts,
+            frozen: self.frozen.clone(),
+            eliminated: self.eliminated.clone(),
+            simplify_enabled: self.simplify_enabled,
+            max_call_conflicts: self.max_call_conflicts,
+        }
+    }
+
+    /// Builds a diversified worker from a snapshot.
+    fn from_snapshot(snap: &SolverSnapshot, cfg: &WorkerConfig) -> Solver {
+        let mut s = Solver::new();
+        s.simplify_enabled = snap.simplify_enabled;
+        s.max_call_conflicts = snap.max_call_conflicts;
+        for _ in 0..snap.num_vars {
+            s.new_var();
+        }
+        s.frozen.copy_from_slice(&snap.frozen);
+        s.eliminated.copy_from_slice(&snap.eliminated);
+        for c in &snap.clauses {
+            if !s.add_clause(c.iter().copied()) {
+                break;
+            }
+        }
+        for (lits, lbd) in &snap.learnts {
+            if !s.ok {
+                break;
+            }
+            s.import_learnt_clause(lits, *lbd);
+        }
+        // The snapshot is the master's *post*-simplification database;
+        // treat it as already preprocessed so workers start searching
+        // immediately (inprocessing stays armed via `max_call_conflicts`).
+        s.simplified_once = true;
+        s.new_since_simplify = 0;
+        s.pending_subsumption.clear();
+        s.stats = SolverStats::default();
+
+        s.var_decay = cfg.var_decay;
+        s.restart_scale = cfg.restart_scale;
+        let mut rng = ph_bits::Rng::seed_from_u64(cfg.seed);
+        match cfg.phase {
+            PhaseInit::AllFalse => {}
+            PhaseInit::AllTrue => s.set_all_phases(true),
+            PhaseInit::Random => s.randomize_phases(&mut rng),
+        }
+        if cfg.random_activity {
+            s.randomize_activity(&mut rng);
+        }
+        s
+    }
+
+    /// Exports this solver's race contribution: top-level unit facts and
+    /// its best learned clauses, filtered by length and LBD, best-first,
+    /// capped at [`IMPORT_MAX_CLAUSES`].
+    fn export_for_import(&self) -> (Vec<Lit>, Vec<(Vec<Lit>, u32)>) {
+        let bound = self.trail_lim.first().copied().unwrap_or(self.trail.len());
+        let units: Vec<Lit> = self.trail[..bound].to_vec();
+        let mut learnts: Vec<(Vec<Lit>, u32)> = self
+            .clauses
+            .iter()
+            .filter(|c| {
+                c.learnt && !c.deleted && c.lits.len() <= IMPORT_MAX_LEN && c.lbd <= IMPORT_MAX_LBD
+            })
+            .map(|c| (c.lits.clone(), c.lbd))
+            .collect();
+        learnts.sort_by_key(|(lits, lbd)| (*lbd, lits.len()));
+        learnts.truncate(IMPORT_MAX_CLAUSES);
+        (units, learnts)
+    }
+
+    /// Imports externally learned clauses (each with an LBD estimate) as
+    /// learnt clauses, at decision level 0.  Clauses touching unknown or
+    /// eliminated variables are rejected, satisfied ones skipped, falsified
+    /// literals stripped; the count of clauses actually attached (or
+    /// enqueued as units) is returned and added to
+    /// [`SolverStats::portfolio_imported`].
+    pub fn import_learnt_clauses(&mut self, clauses: &[(Vec<Lit>, u32)]) -> usize {
+        let mut imported = 0usize;
+        for (lits, lbd) in clauses {
+            if !self.ok {
+                break;
+            }
+            if self.import_learnt_clause(lits, *lbd) {
+                imported += 1;
+            }
+        }
+        self.stats.portfolio_imported += imported as u64;
+        imported
+    }
+
+    /// Imports one implied clause as a learnt clause.  Returns `true` when
+    /// it was attached or enqueued (i.e. it added information).
+    fn import_learnt_clause(&mut self, lits: &[Lit], lbd: u32) -> bool {
+        if !self.ok {
+            return false;
+        }
+        self.cancel_until(0);
+        let mut ls: Vec<Lit> = lits.to_vec();
+        ls.sort();
+        ls.dedup();
+        let mut keep = Vec::with_capacity(ls.len());
+        let mut prev: Option<Lit> = None;
+        for &l in &ls {
+            if l.var().index() >= self.num_vars() || self.eliminated[l.var().index()] {
+                // Not master-visible: the `ph-smt` safety requirement.
+                return false;
+            }
+            if prev == Some(!l) {
+                return false; // tautology carries no information
+            }
+            match self.lit_lbool(l) {
+                LBool::True => return false, // already satisfied at level 0
+                LBool::False => {}
+                LBool::Undef => keep.push(l),
+            }
+            prev = Some(l);
+        }
+        match keep.len() {
+            0 => {
+                // An imported clause is implied, so an empty residue proves
+                // the formula unsatisfiable outright.
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(keep[0], REASON_NONE);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                true
+            }
+            n => {
+                let lbd = lbd.clamp(2, n as u32);
+                self.attach_clause(keep, true, lbd);
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Unsatisfiable pigeonhole instance: `n` pigeons into `n - 1` holes.
+    fn pigeonhole(s: &mut Solver, n: usize) -> Vec<Vec<Lit>> {
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| Lit::pos(s.new_var())).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                for (&pi, &pj) in p[i].iter().zip(&p[j]) {
+                    s.add_clause([!pi, !pj]);
+                }
+            }
+        }
+        p
+    }
+
+    /// Satisfiable sibling: `n` pigeons into `n` holes (permutations).
+    fn pigeonhole_sat(s: &mut Solver, n: usize) -> Vec<Vec<Lit>> {
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..n).map(|_| Lit::pos(s.new_var())).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                for (&pi, &pj) in p[i].iter().zip(&p[j]) {
+                    s.add_clause([!pi, !pj]);
+                }
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn race_agrees_on_unsat() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 8);
+        s.set_portfolio_width(3);
+        s.set_portfolio_min_conflicts(1);
+        s.set_portfolio_cores(Some(4));
+        assert_eq!(s.solve_portfolio(&[]), SolveResult::Unsat);
+        assert_eq!(s.stats().portfolio_solves, 1);
+        let reports = s.last_portfolio();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports.iter().filter(|r| r.winner).count(), 1);
+    }
+
+    #[test]
+    fn race_produces_valid_model() {
+        let mut s = Solver::new();
+        let p = pigeonhole_sat(&mut s, 7);
+        s.set_portfolio_width(3);
+        s.set_portfolio_min_conflicts(1);
+        s.set_portfolio_cores(Some(4));
+        assert_eq!(s.solve_portfolio(&[]), SolveResult::Sat);
+        // Every pigeon sits in a hole, no hole holds two pigeons.
+        for row in &p {
+            assert!(row.iter().any(|&l| s.lit_value(l) == Some(true)));
+        }
+        for h in 0..p[0].len() {
+            assert!(
+                p.iter()
+                    .filter(|row| s.lit_value(row[h]) == Some(true))
+                    .count()
+                    <= 1
+            );
+        }
+    }
+
+    #[test]
+    fn width_below_two_is_plain_sequential() {
+        // Same instance, portfolio "on" at width 1 vs. plain solve: the
+        // fast path must not even diverge in the statistics.
+        let build = |width: usize| {
+            let mut s = Solver::new();
+            pigeonhole(&mut s, 6);
+            s.set_portfolio_width(width);
+            s.set_portfolio_min_conflicts(1);
+            s
+        };
+        let mut plain = build(0);
+        let r0 = plain.solve_with_assumptions(&[]);
+        let mut w1 = build(1);
+        let r1 = w1.solve_portfolio(&[]);
+        assert_eq!(r0, r1);
+        assert_eq!(plain.stats().conflicts, w1.stats().conflicts);
+        assert_eq!(plain.stats().decisions, w1.stats().decisions);
+        assert_eq!(w1.stats().portfolio_solves, 0);
+        assert!(w1.last_portfolio().is_empty());
+    }
+
+    #[test]
+    fn easy_calls_stay_below_the_gate() {
+        let mut s = Solver::new();
+        let a = Lit::pos(s.new_var());
+        let b = Lit::pos(s.new_var());
+        s.add_clause([a, b]);
+        s.add_clause([!a, b]);
+        s.set_portfolio_width(4);
+        s.set_portfolio_cores(Some(4));
+        // Default gate (5000 conflicts): a trivial query never races.
+        assert_eq!(s.solve_portfolio(&[]), SolveResult::Sat);
+        assert_eq!(s.stats().portfolio_solves, 0);
+        assert!(s.last_portfolio().is_empty());
+    }
+
+    #[test]
+    fn master_stays_incremental_after_race() {
+        let mut s = Solver::new();
+        let p = pigeonhole_sat(&mut s, 7);
+        for row in &p {
+            for &l in row {
+                s.freeze(l.var());
+            }
+        }
+        s.set_portfolio_width(2);
+        s.set_portfolio_min_conflicts(1);
+        s.set_portfolio_cores(Some(4));
+        assert_eq!(s.solve_portfolio(&[]), SolveResult::Sat);
+        // Follow-up queries on the same solver (with imported clauses in
+        // the database) must still answer correctly.
+        assert_eq!(s.solve_portfolio(&[!p[0][0]]), SolveResult::Sat);
+        assert_eq!(s.lit_value(p[0][0]), Some(false));
+        // Pin pigeon 0 to every hole's negation: unsatisfiable.
+        let all_neg: Vec<Lit> = p[0].iter().map(|&l| !l).collect();
+        assert_eq!(s.solve_portfolio(&all_neg), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn import_rejects_foreign_and_satisfied_clauses() {
+        let mut s = Solver::new();
+        let a = Lit::pos(s.new_var());
+        let b = Lit::pos(s.new_var());
+        s.add_clause([a, b]);
+        s.add_clause([a]);
+        // `a` is satisfied at level 0; a clause containing it is dropped.
+        assert_eq!(s.import_learnt_clauses(&[(vec![a, b], 2)]), 0);
+        // Unknown variable: rejected.
+        let ghost = Lit::pos(Var(99));
+        assert_eq!(s.import_learnt_clauses(&[(vec![ghost], 1)]), 0);
+        // A genuinely new implied clause lands.
+        assert_eq!(s.import_learnt_clauses(&[(vec![b, !a], 2)]), 1);
+        assert_eq!(s.stats().portfolio_imported, 1);
+        assert_eq!(s.solve(), Some(true));
+        assert_eq!(s.lit_value(b), Some(true));
+    }
+
+    #[test]
+    fn interrupt_cancels_a_race() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 9);
+        let flag = Arc::new(AtomicBool::new(true)); // pre-cancelled
+        s.set_interrupt(Some(flag));
+        s.set_portfolio_width(2);
+        s.set_portfolio_min_conflicts(1);
+        s.set_portfolio_cores(Some(4));
+        assert_eq!(s.solve_portfolio(&[]), SolveResult::Unknown);
+    }
+
+    #[test]
+    fn snapshot_reflects_database() {
+        let mut s = Solver::new();
+        let a = Lit::pos(s.new_var());
+        let b = Lit::pos(s.new_var());
+        s.add_clause([a, b]);
+        s.add_clause([!a, b]);
+        s.add_clause([a]);
+        let snap = s.snapshot();
+        assert_eq!(snap.num_vars(), 2);
+        // Two binary clauses plus the unit fact.
+        assert_eq!(snap.num_clauses(), 3);
+        assert_eq!(snap.num_learnts(), 0);
+    }
+}

@@ -55,7 +55,7 @@ const PREPROCESS_MIN_NEW: usize = 64;
 /// queries run to tens of thousands of conflicts and loses on streams of
 /// many easy queries, even when the latter *accumulate* a large session
 /// total.
-const PREPROCESS_MIN_CONFLICTS: u64 = 5_000;
+pub(crate) const PREPROCESS_MIN_CONFLICTS: u64 = 5_000;
 /// Conflicts between inprocessing passes start here and double each time.
 pub(crate) const INPROCESS_GAP_INIT: u64 = 10_000;
 
@@ -321,7 +321,7 @@ impl Solver {
         self.probe_failed_literals()
     }
 
-    fn interrupted(&self) -> bool {
+    pub(crate) fn interrupted(&self) -> bool {
         self.interrupt
             .as_ref()
             .is_some_and(|f| f.load(Ordering::Relaxed))
@@ -406,11 +406,25 @@ impl Solver {
     /// fixpoint: satisfied clauses are deleted, falsified literals removed,
     /// cascading new units re-queued.
     fn apply_units(&mut self, ctx: &mut SimpCtx) -> bool {
+        let mut polls = 0usize;
+        let mut fast = false;
         while let Some(u) = ctx.units.pop() {
+            polls += 1;
+            if !fast && polls.is_multiple_of(64) && self.interrupted() {
+                // Queued units are facts whose source clauses are already
+                // gone, so they must still be enqueued — but the
+                // occurrence-list cleanup they trigger is optional
+                // (`rebuild_watches` redoes it): skip it so a cancelled
+                // race branch winds down promptly.
+                fast = true;
+            }
             match self.lit_lbool(u) {
                 LBool::True => continue,
                 LBool::False => return false,
                 LBool::Undef => self.enqueue(u, REASON_NONE),
+            }
+            if fast {
+                continue;
             }
             let sat_list = std::mem::take(&mut ctx.occ[u.index()]);
             for cref in sat_list {
@@ -445,7 +459,16 @@ impl Solver {
     /// Backward subsumption and self-subsuming resolution driven by the
     /// clause queue.
     fn subsume_pass(&mut self, ctx: &mut SimpCtx) -> bool {
+        let mut polls = 0usize;
         while let Some(cref) = ctx.queue.pop() {
+            // Subsumption is purely an optimization, so draining the queue
+            // early on interrupt is sound; without this poll a long queue
+            // could delay cancellation of a losing race branch until the
+            // next per-conflict check.
+            polls += 1;
+            if polls.is_multiple_of(64) && self.interrupted() {
+                break;
+            }
             let ci = cref as usize;
             if self.clauses[ci].deleted || self.clauses[ci].learnt {
                 continue;
@@ -532,7 +555,7 @@ impl Solver {
         cand.sort_unstable_by_key(|&(cost, _)| cost);
         let mut count = 0usize;
         for (i, &(_, v)) in cand.iter().enumerate() {
-            if i % 256 == 0 && self.interrupted() {
+            if i.is_multiple_of(64) && self.interrupted() {
                 break;
             }
             let vi = v.index();

@@ -90,6 +90,11 @@ pub struct SolverStats {
     pub failed_literals: u64,
     /// Wall-clock time spent inside [`Solver::simplify`], in nanoseconds.
     pub simplify_time_ns: u64,
+    /// Hard calls escalated to a portfolio race
+    /// (see [`Solver::solve_portfolio`]).
+    pub portfolio_solves: u64,
+    /// Learned clauses imported from winning portfolio workers.
+    pub portfolio_imported: u64,
 }
 
 impl SolverStats {
@@ -109,6 +114,8 @@ impl SolverStats {
             strengthened_clauses: self.strengthened_clauses - earlier.strengthened_clauses,
             failed_literals: self.failed_literals - earlier.failed_literals,
             simplify_time_ns: self.simplify_time_ns - earlier.simplify_time_ns,
+            portfolio_solves: self.portfolio_solves - earlier.portfolio_solves,
+            portfolio_imported: self.portfolio_imported - earlier.portfolio_imported,
         }
     }
 }
@@ -132,7 +139,7 @@ pub struct Solver {
     heap: Vec<Var>,
     heap_pos: Vec<usize>,
     /// Saved phases for phase-saving.
-    phase: Vec<bool>,
+    pub(crate) phase: Vec<bool>,
     /// Clause activity bump.
     cla_inc: f64,
     /// False once an unconditional empty clause was derived.
@@ -144,7 +151,7 @@ pub struct Solver {
     /// Scratch for conflict analysis.
     seen: Vec<bool>,
     /// Conflict budget for the next solve (None = unlimited).
-    budget: Option<u64>,
+    pub(crate) budget: Option<u64>,
     /// Cooperative interrupt flag: when set, `solve` returns `Unknown`.
     pub(crate) interrupt: Option<Arc<AtomicBool>>,
     /// Variables the simplifier must never eliminate (external interface
@@ -175,6 +182,22 @@ pub struct Solver {
     pub(crate) max_call_conflicts: u64,
     /// Round-robin cursor for failed-literal probing.
     pub(crate) probe_cursor: usize,
+    /// VSIDS decay factor; portfolio workers diversify it.
+    pub(crate) var_decay: f64,
+    /// Base conflict interval of the Luby restart schedule; portfolio
+    /// workers diversify it.
+    pub(crate) restart_scale: u64,
+    /// Worker count for [`Solver::solve_portfolio`]; below 2 the portfolio
+    /// is off and `solve_portfolio` is a plain `solve_with_assumptions`.
+    pub(crate) portfolio_width: usize,
+    /// Conflicts a call must accumulate (the hardness gate, mirroring the
+    /// simplification scheduler's threshold) before it escalates to a race.
+    pub(crate) portfolio_min_conflicts: u64,
+    /// Testing hook: pretend the machine has this many cores when deciding
+    /// whether a race is worthwhile (`None` = ask the OS).
+    pub(crate) portfolio_cores: Option<usize>,
+    /// Per-worker reports from the most recent portfolio race.
+    pub(crate) last_portfolio: Vec<crate::portfolio::WorkerReport>,
 }
 
 const HEAP_NONE: usize = usize::MAX;
@@ -221,6 +244,12 @@ impl Solver {
             inprocess_gap: crate::simplify::INPROCESS_GAP_INIT,
             max_call_conflicts: 0,
             probe_cursor: 0,
+            var_decay: 0.95,
+            restart_scale: 100,
+            portfolio_width: 0,
+            portfolio_min_conflicts: crate::simplify::PREPROCESS_MIN_CONFLICTS,
+            portfolio_cores: None,
+            last_portfolio: Vec::new(),
         }
     }
 
@@ -387,7 +416,7 @@ impl Solver {
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
+    pub(crate) fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
         let cref = self.clauses.len() as ClauseRef;
         let w0 = Watch {
@@ -628,7 +657,7 @@ impl Solver {
     }
 
     fn decay_var_activity(&mut self) {
-        self.var_inc /= 0.95;
+        self.var_inc /= self.var_decay;
     }
 
     fn bump_clause(&mut self, cref: ClauseRef) {
@@ -704,6 +733,31 @@ impl Solver {
             self.heap_down(0);
         }
         Some(top)
+    }
+
+    /// Seeds every saved phase with `val` (portfolio polarity diversification).
+    pub(crate) fn set_all_phases(&mut self, val: bool) {
+        for p in self.phase.iter_mut() {
+            *p = val;
+        }
+    }
+
+    /// Seeds every saved phase from `rng`.
+    pub(crate) fn randomize_phases(&mut self, rng: &mut ph_bits::Rng) {
+        for p in self.phase.iter_mut() {
+            *p = rng.gen_bool(0.5);
+        }
+    }
+
+    /// Replaces all variable activities with random values in `[0, 1)` and
+    /// re-heapifies, so a worker explores the space in a different order.
+    pub(crate) fn randomize_activity(&mut self, rng: &mut ph_bits::Rng) {
+        for a in self.activity.iter_mut() {
+            *a = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        }
+        for i in (0..self.heap.len() / 2).rev() {
+            self.heap_down(i);
+        }
     }
 
     fn pick_branch_var(&mut self) -> Option<Var> {
@@ -799,7 +853,7 @@ impl Solver {
 
         let mut conflicts_this_call: u64 = 0;
         let mut restart_idx: u64 = 0;
-        let mut restart_budget = 100 * luby(restart_idx);
+        let mut restart_budget = self.restart_scale * luby(restart_idx);
 
         loop {
             if let Some(confl) = self.propagate() {
@@ -845,7 +899,7 @@ impl Solver {
                 }
                 if conflicts_this_call >= restart_budget {
                     restart_idx += 1;
-                    restart_budget = conflicts_this_call + 100 * luby(restart_idx);
+                    restart_budget = conflicts_this_call + self.restart_scale * luby(restart_idx);
                     self.stats.restarts += 1;
                     self.cancel_until(0);
                     // Inprocessing: re-run the simplifier between restarts

@@ -1,0 +1,233 @@
+//! Differential fuzzing of the portfolio solve path.
+//!
+//! A master solver routed through [`Solver::solve_portfolio`] — with the
+//! hardness gate forced low so races actually fire, and clause import
+//! enabled — must agree verdict-for-verdict with a no-import control solver
+//! fed the identical incremental stream, and every satisfiable model must
+//! satisfy the *original* clauses (imported learnts are implied, so they can
+//! never shrink the model set; this is the check that proves it).
+//!
+//! Streams mix random small clauses with selector-guarded pigeonhole blocks:
+//! assuming the selector false activates an UNSAT sub-instance hard enough
+//! to cross the gate, without poisoning the solver for later queries.
+
+use ph_sat::{Lit, SolveResult, Solver, Var};
+
+/// A clause as (variable index, negated) pairs over the shared block.
+type RClause = Vec<(usize, bool)>;
+
+fn random_clauses(rng: &mut ph_bits::Rng, nv: usize, nc: usize, max_len: usize) -> Vec<RClause> {
+    (0..nc)
+        .map(|_| {
+            let len = rng.gen_range(1..=max_len);
+            (0..len)
+                .map(|_| (rng.gen_range(0..nv), rng.gen_bool(0.5)))
+                .collect()
+        })
+        .collect()
+}
+
+/// Adds an `n`-pigeons / `n-1`-holes pigeonhole instance on fresh variables,
+/// every clause guarded by a fresh frozen selector: assuming the selector
+/// *false* activates the (UNSAT, conflict-heavy) block.  Returns the
+/// selector and the guarded clauses as literals for model validation.
+fn add_guarded_pigeonhole(s: &mut Solver, n: usize) -> (Var, Vec<Vec<Lit>>) {
+    let sel = s.new_var();
+    s.freeze(sel);
+    let holes = n - 1;
+    let p: Vec<Vec<Var>> = (0..n)
+        .map(|_| (0..holes).map(|_| s.new_var()).collect())
+        .collect();
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
+    for row in &p {
+        let mut c: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+        c.push(Lit::pos(sel));
+        clauses.push(c);
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            for (&pi, &pj) in p[i].iter().zip(&p[j]) {
+                clauses.push(vec![Lit::neg(pi), Lit::neg(pj), Lit::pos(sel)]);
+            }
+        }
+    }
+    for c in &clauses {
+        // Each clause contains the fresh (unassigned) selector, so it can
+        // never be falsified on add; `false` here only echoes the solver
+        // already being UNSAT from earlier clauses, which the caller's
+        // ok-flags already record.
+        let _ = s.add_clause(c.iter().copied());
+    }
+    (sel, clauses)
+}
+
+fn model_satisfies_lits(s: &Solver, clauses: &[Vec<Lit>]) -> bool {
+    clauses
+        .iter()
+        .all(|c| c.iter().any(|&l| s.lit_value(l) == Some(true)))
+}
+
+/// The master: portfolio routing on, gate forced to 1 conflict so any
+/// non-trivial query escalates to a race, and the single-core clamp pierced
+/// (this suite must exercise real races on any build machine).
+fn master(simplify: bool) -> Solver {
+    let mut s = Solver::new();
+    s.set_simplify(simplify);
+    s.set_portfolio_width(3);
+    s.set_portfolio_min_conflicts(1);
+    s.set_portfolio_cores(Some(4));
+    s
+}
+
+/// The control: the identical stream through the plain sequential path with
+/// no simplification and no clause import of any kind.
+fn control() -> Solver {
+    let mut s = Solver::new();
+    s.set_simplify(false);
+    s
+}
+
+/// Randomized incremental streams: after every portfolio solve the master
+/// must agree with the no-import control, and its models must satisfy every
+/// original clause.
+#[test]
+fn portfolio_master_agrees_with_no_import_control() {
+    let mut rng = ph_bits::Rng::seed_from_u64(0x00f0_d1ff_0001);
+    for round in 0..12 {
+        let simplify = rng.gen_bool(0.5);
+        let mut m = master(simplify);
+        let mut c = control();
+
+        let nv = rng.gen_range(6..=16usize);
+        let mvars: Vec<Var> = (0..nv).map(|_| m.new_var()).collect();
+        let cvars: Vec<Var> = (0..nv).map(|_| c.new_var()).collect();
+        // The shared block is external interface: assumptions are chosen
+        // freely and models read back between batches.
+        for &v in &mvars {
+            m.freeze(v);
+        }
+
+        let mut all_m: Vec<Vec<Lit>> = Vec::new();
+        let mut selectors: Vec<(Var, Var)> = Vec::new(); // (master, control)
+        let mut m_ok = true;
+        let mut c_ok = true;
+
+        for batch in 0..4 {
+            let nc = rng.gen_range(1..=nv * 2);
+            for cl in random_clauses(&mut rng, nv, nc, 3) {
+                let ml: Vec<Lit> = cl.iter().map(|&(v, n)| Lit::new(mvars[v], n)).collect();
+                let clits: Vec<Lit> = cl.iter().map(|&(v, n)| Lit::new(cvars[v], n)).collect();
+                m_ok &= m.add_clause(ml.iter().copied());
+                c_ok &= c.add_clause(clits);
+                all_m.push(ml);
+            }
+            // Every other batch, plant a guarded hard block so some queries
+            // cross the gate with a real conflict burst.
+            if batch % 2 == 0 {
+                let (ms, mcls) = add_guarded_pigeonhole(&mut m, 5);
+                let (cs, _) = add_guarded_pigeonhole(&mut c, 5);
+                all_m.extend(mcls);
+                selectors.push((ms, cs));
+            }
+            assert_eq!(
+                m_ok, c_ok,
+                "round {round} batch {batch}: add_clause diverged"
+            );
+
+            // Assumptions: a few shared-block literals, plus (sometimes) one
+            // activated selector to force a hard UNSAT query.
+            let n_assume = rng.gen_range(0..=3usize);
+            let mut m_assume: Vec<Lit> = Vec::new();
+            let mut c_assume: Vec<Lit> = Vec::new();
+            for _ in 0..n_assume {
+                let (v, neg) = (rng.gen_range(0..nv), rng.gen_bool(0.5));
+                m_assume.push(Lit::new(mvars[v], neg));
+                c_assume.push(Lit::new(cvars[v], neg));
+            }
+            if !selectors.is_empty() && rng.gen_bool(0.5) {
+                let (ms, cs) = selectors[rng.gen_range(0..selectors.len())];
+                m_assume.push(Lit::neg(ms));
+                c_assume.push(Lit::neg(cs));
+            }
+
+            let got = if m_ok {
+                m.solve_portfolio(&m_assume)
+            } else {
+                SolveResult::Unsat
+            };
+            let want = if c_ok {
+                c.solve_with_assumptions(&c_assume)
+            } else {
+                SolveResult::Unsat
+            };
+            assert_eq!(
+                got, want,
+                "round {round} batch {batch}: verdicts diverged (assume {m_assume:?})"
+            );
+            if got == SolveResult::Sat {
+                assert!(
+                    model_satisfies_lits(&m, &all_m),
+                    "round {round} batch {batch}: master model violates original clauses"
+                );
+                for &l in &m_assume {
+                    assert_eq!(m.lit_value(l), Some(true), "assumption dropped from model");
+                }
+            }
+        }
+    }
+}
+
+/// The hard blocks above must actually be racing: across the whole suite at
+/// least one query escalates past the gate, and imported clauses never flip
+/// a later verdict (re-query the same selectors after imports landed).
+#[test]
+fn races_fire_and_imports_preserve_later_verdicts() {
+    let mut m = master(true);
+    let shared: Vec<Var> = (0..4).map(|_| m.new_var()).collect();
+    for &v in &shared {
+        m.freeze(v);
+    }
+    for w in shared.windows(2) {
+        m.add_clause([Lit::neg(w[0]), Lit::pos(w[1])]);
+    }
+    let (sel_a, _) = add_guarded_pigeonhole(&mut m, 5);
+    let (sel_b, _) = add_guarded_pigeonhole(&mut m, 6);
+
+    // Hard UNSAT query: crosses the 1-conflict gate, races, imports the
+    // winner's learnts into the master.
+    assert_eq!(m.solve_portfolio(&[Lit::neg(sel_a)]), SolveResult::Unsat);
+    assert!(
+        m.stats().portfolio_solves >= 1,
+        "the pigeonhole query should have escalated to a race"
+    );
+
+    // Post-import, everything still answers exactly as a fresh solver would.
+    assert_eq!(m.solve_portfolio(&[]), SolveResult::Sat);
+    assert_eq!(m.solve_portfolio(&[Lit::neg(sel_b)]), SolveResult::Unsat);
+    assert_eq!(m.solve_portfolio(&[Lit::neg(sel_a)]), SolveResult::Unsat);
+    assert_eq!(
+        m.solve_portfolio(&[Lit::pos(sel_a), Lit::pos(sel_b), Lit::pos(shared[0])]),
+        SolveResult::Sat
+    );
+    assert_eq!(m.lit_value(Lit::pos(shared[3])), Some(true));
+}
+
+/// Kill switch: width 1 (or a single core) must take the sequential path —
+/// no races, no imports, stats untouched.
+#[test]
+fn width_one_and_single_core_never_race() {
+    for (width, cores) in [(1usize, Some(8usize)), (8, Some(1)), (0, Some(8))] {
+        let mut s = Solver::new();
+        s.set_portfolio_width(width);
+        s.set_portfolio_min_conflicts(1);
+        s.set_portfolio_cores(cores);
+        let (sel, _) = add_guarded_pigeonhole(&mut s, 5);
+        assert_eq!(s.solve_portfolio(&[Lit::neg(sel)]), SolveResult::Unsat);
+        assert_eq!(
+            s.stats().portfolio_solves,
+            0,
+            "width={width} cores={cores:?} must stay sequential"
+        );
+        assert_eq!(s.stats().portfolio_imported, 0);
+    }
+}
