@@ -93,6 +93,65 @@ fn check_stats(file: &str, v: &Json) -> usize {
     seen
 }
 
+/// Required keys of each divergence report (`Divergence::to_json`): string
+/// fields, integer fields, and state-path arrays.
+const DIVERGENCE_STR_KEYS: &[&str] = &[
+    "subject",
+    "generator",
+    "input",
+    "kind",
+    "spec_status",
+    "impl_status",
+];
+const DIVERGENCE_INT_KEYS: &[&str] = &["input_bits", "shrink_steps"];
+const DIVERGENCE_ARR_KEYS: &[&str] = &["spec_path", "impl_path"];
+
+/// Walks the document and validates every object inside an array that
+/// appears under a `divergences` key (the fuzzing oracle's reports).
+/// Returns how many divergence payloads were seen.
+fn check_divergences(file: &str, v: &Json) -> usize {
+    let mut seen = 0;
+    if let Some(fields) = v.as_obj() {
+        for (k, child) in fields {
+            // Counter payloads carry an integer `divergences` count; only
+            // the array form holds the structured reports.
+            if k == "divergences" && child.as_arr().is_some() {
+                let items = child.as_arr().unwrap();
+                for (i, d) in items.iter().enumerate() {
+                    seen += 1;
+                    for key in DIVERGENCE_STR_KEYS {
+                        if d.get(key).and_then(Json::as_str).is_none() {
+                            fail(file, format!("divergence {i} missing string key {key:?}"));
+                        }
+                    }
+                    for key in DIVERGENCE_INT_KEYS {
+                        if d.get(key).and_then(Json::as_i64).is_none() {
+                            fail(file, format!("divergence {i} missing integer key {key:?}"));
+                        }
+                    }
+                    for key in DIVERGENCE_ARR_KEYS {
+                        if d.get(key).and_then(Json::as_arr).is_none() {
+                            fail(file, format!("divergence {i} missing array key {key:?}"));
+                        }
+                    }
+                    if d.get("first_diff_field").is_none() {
+                        fail(
+                            file,
+                            format!("divergence {i} missing key \"first_diff_field\""),
+                        );
+                    }
+                }
+            }
+            seen += check_divergences(file, child);
+        }
+    } else if let Some(items) = v.as_arr() {
+        for item in items {
+            seen += check_divergences(file, item);
+        }
+    }
+    seen
+}
+
 fn check_results(file: &str, text: &str) {
     let doc = match Json::parse(text) {
         Ok(d) => d,
@@ -123,8 +182,9 @@ fn check_results(file: &str, text: &str) {
         }
     }
     let stats = check_stats(file, &doc);
+    let divergences = check_divergences(file, &doc);
     println!(
-        "check_schema: {file}: ok ({} rows, {stats} stats payloads)",
+        "check_schema: {file}: ok ({} rows, {stats} stats payloads, {divergences} divergences)",
         rows.len()
     );
 }

@@ -1,0 +1,314 @@
+//! Differential fuzzing oracle over the whole Table 3 benchmark registry.
+//!
+//! ```text
+//! cargo run -p ph-bench --release --bin fuzz_e2e -- --jobs 4
+//! ```
+//!
+//! For every registry case the oracle three-way-compares the specification
+//! simulator, the synthesized program and the baseline `direct_translate`
+//! program on grammar-aware packets (accepting-path seeds plus flip /
+//! truncate / varbit-extreme / lookahead / extend mutants and a uniform
+//! random tail; see `ph_core::fuzz`).  Any divergence is ddmin-shrunk and
+//! reported with its state paths and first differing dictionary field.
+//!
+//! Environment knobs:
+//!
+//! * `PH_FUZZ_FILTER=MPLS` — restrict cases by substring.
+//! * `PH_FUZZ_TIMEOUT_SECS` — synthesis budget per case (default 30).
+//! * `PH_FUZZ_SYNTH=0` — skip synthesis and fuzz only the baseline
+//!   translation (the fast CI smoke mode).
+//! * `PH_FUZZ_BUDGET` — per-case packet budget (default 0: run every
+//!   generated packet).
+//! * `PH_FUZZ_CORRUPT=1` — mutation-testing mode: instead of checking the
+//!   real programs, inject a corruption into the baseline translation of
+//!   every case and demand that the oracle catches it with a shrunk
+//!   witness.  Exit status inverts: failing to find the planted bug fails.
+//!
+//! Exits non-zero on any divergence (normal mode) or any uncaught
+//! corruption (corrupt mode), so CI can gate on it.  Besides the stdout
+//! table, a machine-readable `results/fuzz_e2e.json` records every case
+//! with its counters and full divergence reports.
+
+use ph_bench::{env_secs, jobs_from_args, par_map, report};
+use ph_core::fuzz::{fuzz, FuzzConfig, FuzzReport};
+use ph_core::{OptConfig, SynthParams, Synthesizer};
+use ph_hw::{DeviceProfile, HwNext, TcamProgram};
+use ph_obs::{Json, Level};
+use std::time::Instant;
+
+/// Corruption candidates: each entry's action flipped in turn
+/// (Accept/State → Reject, Reject → Accept).  Returns the corrupted
+/// program and a human-readable description of the mutation.
+fn corruptions(program: &TcamProgram) -> Vec<(TcamProgram, String)> {
+    let mut out = Vec::new();
+    for (si, st) in program.states.iter().enumerate() {
+        for (ei, e) in st.entries.iter().enumerate() {
+            let mut p = program.clone();
+            p.states[si].entries[ei].next = match e.next {
+                HwNext::Reject => HwNext::Accept,
+                _ => HwNext::Reject,
+            };
+            out.push((
+                p,
+                format!(
+                    "state {} entry {} ({}) next flipped",
+                    st.name, ei, e.pattern
+                ),
+            ));
+        }
+    }
+    out
+}
+
+struct CaseOutcome {
+    report: FuzzReport,
+    subjects: Vec<String>,
+    synth_note: Option<String>,
+    /// Corrupt mode: description of the first caught mutation, or `None`
+    /// when every candidate slipped through.
+    caught: Option<String>,
+    time_s: f64,
+}
+
+fn main() {
+    let synth_budget = env_secs("PH_FUZZ_TIMEOUT_SECS", 30);
+    let filter = std::env::var("PH_FUZZ_FILTER").unwrap_or_default();
+    let do_synth = std::env::var("PH_FUZZ_SYNTH")
+        .map(|v| v != "0")
+        .unwrap_or(true);
+    let corrupt = std::env::var("PH_FUZZ_CORRUPT")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let packet_budget: usize = std::env::var("PH_FUZZ_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let device = DeviceProfile::tofino();
+    let tracer = ph_obs::current();
+
+    let cases: Vec<_> = ph_benchmarks::registry()
+        .into_iter()
+        .filter(|c| filter.is_empty() || c.name.contains(&filter))
+        .collect();
+    let jobs = jobs_from_args();
+
+    println!(
+        "Differential fuzzing oracle over {} cases ({} mode, synth {})\n",
+        cases.len(),
+        if corrupt { "corrupt" } else { "check" },
+        if do_synth && !corrupt { "on" } else { "off" }
+    );
+    println!(
+        "{:<34} | {:>8} {:>6} {:>6} {:>8} {:>8} | subjects",
+        "Program Name", "packets", "seeds", "incomp", "diverge", "time(s)"
+    );
+
+    let t0 = Instant::now();
+    let outcomes = par_map(jobs, &cases, |case| {
+        let t = tracer.with_branch(&case.name);
+        let _g = ph_obs::set_thread_tracer(t.clone());
+        t.msg_with(Level::Info, || format!("fuzz_e2e: running {}", case.name));
+        let started = Instant::now();
+
+        let cfg = FuzzConfig {
+            packet_budget,
+            // One shrunk witness per planted bug is enough in corrupt mode.
+            max_divergences: if corrupt {
+                1
+            } else {
+                FuzzConfig::default().max_divergences
+            },
+            ..FuzzConfig::default()
+        };
+        let direct = ph_baseline::translate::direct_translate(&case.spec, &device);
+
+        if corrupt {
+            // Mutation testing: the oracle must catch a planted bug with a
+            // shrunk witness.  Some corruptions are semantically inert
+            // (shadowed entries), so any caught candidate counts.
+            let mut caught = None;
+            let mut report = FuzzReport {
+                stats: Default::default(),
+                divergences: Vec::new(),
+            };
+            for (bad, what) in corruptions(&direct) {
+                let r = fuzz(&case.spec, &[("corrupt-direct", &bad)], &cfg);
+                report.stats.packets += r.stats.packets;
+                report.stats.seeds = r.stats.seeds;
+                report.stats.incomparable += r.stats.incomparable;
+                report.stats.shrink_steps += r.stats.shrink_steps;
+                if !r.clean() {
+                    report.stats.divergences += r.stats.divergences;
+                    report.divergences = r.divergences;
+                    caught = Some(what);
+                    break;
+                }
+            }
+            return CaseOutcome {
+                report,
+                subjects: vec!["corrupt-direct".into()],
+                synth_note: None,
+                caught,
+                time_s: started.elapsed().as_secs_f64(),
+            };
+        }
+
+        let mut subjects = vec!["direct".to_string()];
+        let mut synth_note = None;
+        let synthesized = if do_synth {
+            let r = Synthesizer::new(device.clone(), OptConfig::all())
+                .with_params(SynthParams {
+                    timeout: Some(synth_budget),
+                    ..Default::default()
+                })
+                .synthesize(&case.spec);
+            match r {
+                Ok(out) => {
+                    subjects.push("synth".into());
+                    Some(out.program)
+                }
+                Err(e) => {
+                    synth_note = Some(format!("synthesis skipped: {e}"));
+                    None
+                }
+            }
+        } else {
+            None
+        };
+
+        let mut programs: Vec<(&str, &TcamProgram)> = vec![("direct", &direct)];
+        if let Some(p) = &synthesized {
+            programs.push(("synth", p));
+        }
+        let report = fuzz(&case.spec, &programs, &cfg);
+        CaseOutcome {
+            report,
+            subjects,
+            synth_note,
+            caught: None,
+            time_s: started.elapsed().as_secs_f64(),
+        }
+    });
+
+    let mut rows_json: Vec<Json> = Vec::new();
+    let mut total_packets = 0u64;
+    let mut total_divergences = 0u64;
+    let mut total_shrink_steps = 0u64;
+    let mut uncaught: Vec<&str> = Vec::new();
+
+    for (case, o) in cases.iter().zip(&outcomes) {
+        total_packets += o.report.stats.packets;
+        total_divergences += o.report.stats.divergences;
+        total_shrink_steps += o.report.stats.shrink_steps;
+        if corrupt && o.caught.is_none() {
+            uncaught.push(&case.name);
+        }
+
+        let mut note = o.subjects.join("+");
+        if let Some(n) = &o.synth_note {
+            note = format!("{note} ({n})");
+        }
+        if corrupt {
+            note = match &o.caught {
+                Some(what) => format!("caught: {what}"),
+                None => "UNCAUGHT".into(),
+            };
+        }
+        println!(
+            "{:<34} | {:>8} {:>6} {:>6} {:>8} {:>8.2} | {}",
+            case.name,
+            o.report.stats.packets,
+            o.report.stats.seeds,
+            o.report.stats.incomparable,
+            o.report.stats.divergences,
+            o.time_s,
+            note
+        );
+        for d in &o.report.divergences {
+            if corrupt {
+                println!("    witness: {d}");
+            } else {
+                println!("    DIVERGENCE: {d}");
+            }
+        }
+
+        rows_json.push(
+            Json::obj()
+                .with("name", case.name.as_str())
+                .with(
+                    "subjects",
+                    Json::Arr(o.subjects.iter().map(|s| Json::from(s.as_str())).collect()),
+                )
+                .with("fuzz", o.report.stats.to_json())
+                .with(
+                    "divergences",
+                    Json::Arr(o.report.divergences.iter().map(|d| d.to_json()).collect()),
+                )
+                .with(
+                    "synth_note",
+                    match &o.synth_note {
+                        Some(n) => Json::from(n.as_str()),
+                        None => Json::Null,
+                    },
+                )
+                .with(
+                    "caught",
+                    match &o.caught {
+                        Some(w) => Json::from(w.as_str()),
+                        None => Json::Null,
+                    },
+                )
+                .with("time_s", o.time_s),
+        );
+    }
+
+    let wall = t0.elapsed().as_secs_f64();
+    let pps = total_packets as f64 / wall.max(1e-9);
+    println!(
+        "\n{} packets in {:.2}s ({:.0} packets/s), {} divergences, {} shrink steps",
+        total_packets, wall, pps, total_divergences, total_shrink_steps
+    );
+    if corrupt {
+        if uncaught.is_empty() {
+            println!("mutation test: every case's planted corruption was caught and shrunk");
+        } else {
+            println!("mutation test FAILED: corruption not caught on {uncaught:?}");
+        }
+    }
+
+    let doc = report::metadata("fuzz_e2e")
+        .with("mode", if corrupt { "corrupt" } else { "check" })
+        .with("synth", do_synth && !corrupt)
+        .with("filter", filter.as_str())
+        .with("jobs", jobs as u64)
+        .with("packet_budget", packet_budget)
+        .with("rows", Json::Arr(rows_json))
+        .with(
+            "summary",
+            Json::obj()
+                .with("cases", cases.len())
+                .with("packets", total_packets)
+                .with("packets_per_sec", pps)
+                .with("divergences", total_divergences)
+                .with("shrink_steps", total_shrink_steps)
+                .with("wall_s", wall)
+                .with(
+                    "uncaught",
+                    Json::Arr(uncaught.iter().map(|&n| Json::from(n)).collect()),
+                ),
+        );
+    match report::write_results("fuzz_e2e", &doc) {
+        Ok(path) => println!("structured results: {}", path.display()),
+        Err(e) => eprintln!("failed to write results file: {e}"),
+    }
+    tracer.flush();
+
+    let failed = if corrupt {
+        !uncaught.is_empty()
+    } else {
+        total_divergences > 0
+    };
+    if failed {
+        std::process::exit(1);
+    }
+}

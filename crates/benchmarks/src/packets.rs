@@ -11,6 +11,10 @@ use ph_bits::{BitString, Rng};
 #[derive(Clone, Debug)]
 pub struct PacketBuilder {
     buf: Vec<u8>,
+    /// Byte offsets of appended IPv4 headers; their total-length fields are
+    /// filled in at [`PacketBuilder::bytes`] time so appended TCP/payload
+    /// bytes are always accounted for.
+    ipv4_offsets: Vec<usize>,
 }
 
 impl Default for PacketBuilder {
@@ -24,6 +28,7 @@ impl PacketBuilder {
     pub fn new() -> PacketBuilder {
         PacketBuilder {
             buf: Vec::with_capacity(128),
+            ipv4_offsets: Vec::new(),
         }
     }
 
@@ -38,9 +43,10 @@ impl PacketBuilder {
     /// Appends a minimal 20-byte IPv4 header with the given protocol and
     /// destination address.
     pub fn ipv4(mut self, proto: u8, src: u32, dst: u32) -> Self {
+        self.ipv4_offsets.push(self.buf.len());
         self.buf.push(0x45); // version 4, IHL 5
         self.buf.push(0); // DSCP/ECN
-        self.buf.extend_from_slice(&20u16.to_be_bytes()); // total length (placeholder)
+        self.buf.extend_from_slice(&[0, 0]); // total length, patched in bytes()
         self.buf.extend_from_slice(&[0, 0]); // identification
         self.buf.extend_from_slice(&[0, 0]); // flags/fragment
         self.buf.push(64); // TTL
@@ -65,9 +71,11 @@ impl PacketBuilder {
         self
     }
 
-    /// Appends an MPLS label-stack entry.
+    /// Appends an MPLS label-stack entry.  Labels are 20 bits on the wire;
+    /// wider values are masked so they cannot bleed into the TC/BoS/TTL
+    /// bits.
     pub fn mpls(mut self, label: u32, bos: bool, ttl: u8) -> Self {
-        let word = (label << 12) | ((bos as u32) << 8) | ttl as u32;
+        let word = ((label & 0xf_ffff) << 12) | ((bos as u32) << 8) | ttl as u32;
         self.buf.extend_from_slice(&word.to_be_bytes());
         self
     }
@@ -78,14 +86,23 @@ impl PacketBuilder {
         self
     }
 
-    /// The assembled bytes.
-    pub fn bytes(&self) -> &[u8] {
-        &self.buf
+    /// The assembled bytes.  Each IPv4 header's total-length field is
+    /// computed here — bytes from that header's first byte to the end of
+    /// the packet (saturating at the 16-bit wire maximum) — so
+    /// length-driven parsers see packets consistent with the appended
+    /// TCP/payload bytes.
+    pub fn bytes(&self) -> Vec<u8> {
+        let mut out = self.buf.clone();
+        for &off in &self.ipv4_offsets {
+            let total = (out.len() - off).min(u16::MAX as usize) as u16;
+            out[off + 2..off + 4].copy_from_slice(&total.to_be_bytes());
+        }
+        out
     }
 
     /// The packet as a wire-order bitstream.
     pub fn bits(&self) -> BitString {
-        BitString::from_bytes(&self.buf)
+        BitString::from_bytes(&self.bytes())
     }
 }
 
@@ -129,6 +146,40 @@ mod tests {
         assert_eq!(bits.slice(0, 20).to_u64(), 7);
         // BoS bit at position 23.
         assert!(bits.get(23));
+    }
+
+    #[test]
+    fn mpls_wide_label_masked_to_20_bits() {
+        // label = 2^20 + 7: the overflow bits must not corrupt TC/BoS/TTL.
+        let p = PacketBuilder::new().mpls((1 << 20) | 7, true, 64);
+        let bits = p.bits();
+        assert_eq!(bits.slice(0, 20).to_u64(), 7);
+        assert_eq!(bits.slice(20, 23).to_u64(), 0); // TC
+        assert!(bits.get(23)); // BoS survives
+        assert_eq!(bits.slice(24, 32).to_u64(), 64); // TTL survives
+                                                     // Identical to the masked label.
+        assert_eq!(p.bytes(), PacketBuilder::new().mpls(7, true, 64).bytes());
+    }
+
+    #[test]
+    fn ipv4_total_length_tracks_appended_bytes() {
+        let p = PacketBuilder::new()
+            .ethernet([1; 6], [2; 6], 0x0800)
+            .ipv4(6, 0x0a000001, 0x0a000002)
+            .tcp(1234, 80)
+            .payload(&[0xab; 11]);
+        // Total length lives at bytes 14+2..14+4 and covers IP header, TCP
+        // header and payload: 20 + 20 + 11.
+        let bytes = p.bytes();
+        assert_eq!(&bytes[16..18], &51u16.to_be_bytes());
+        // A bare IPv4 header still reports 20.
+        let bare = PacketBuilder::new().ipv4(17, 1, 2);
+        assert_eq!(&bare.bytes()[2..4], &20u16.to_be_bytes());
+        // Nested (tunneled) IPv4 headers each cover to the packet's end.
+        let tun = PacketBuilder::new().ipv4(4, 1, 2).ipv4(17, 3, 4);
+        let tb = tun.bytes();
+        assert_eq!(&tb[2..4], &40u16.to_be_bytes());
+        assert_eq!(&tb[22..24], &20u16.to_be_bytes());
     }
 
     #[test]

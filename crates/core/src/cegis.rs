@@ -723,6 +723,11 @@ fn finish_or_timeout(
     post::optimize(&mut program, device, &orig_spec.fields);
     validate::check_program_against_spec(orig_spec, &program, params.seed, 400)
         .map_err(SynthError::ValidationFailed)?;
+    if params.e2e_samples > 0 {
+        crate::fuzz::check_e2e(orig_spec, &program, params.seed, params.e2e_samples).map_err(
+            |d| SynthError::ValidationFailed(format!("fuzz oracle divergence: {}", d.to_json())),
+        )?;
+    }
     let violations = ph_hw::check_program(&program, &orig_spec.fields);
     if !violations.is_empty() {
         return Err(SynthError::Infeasible(

@@ -33,6 +33,7 @@
 pub mod bounds;
 pub mod cegis;
 pub mod encode;
+pub mod fuzz;
 pub mod parallel;
 pub mod post;
 pub mod reduce;
@@ -153,6 +154,10 @@ pub struct SynthParams {
     /// Testing hook: pretend the machine has this many cores for the
     /// portfolio's single-core clamp and auto-width computation.
     pub portfolio_cores: Option<usize>,
+    /// Packet budget for the post-verification differential fuzzing gate
+    /// ([`fuzz::check_e2e`]).  `0` (the default) disables the gate; the
+    /// Fig. 22 random check in [`validate`] always runs.
+    pub e2e_samples: usize,
 }
 
 impl Default for SynthParams {
@@ -167,6 +172,7 @@ impl Default for SynthParams {
             tracer: None,
             portfolio_width: None,
             portfolio_cores: None,
+            e2e_samples: 0,
         }
     }
 }

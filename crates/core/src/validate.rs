@@ -24,6 +24,10 @@ pub fn check_program_against_spec(
     let mut rng = Rng::seed_from_u64(seed ^ 0xf1622);
     let iters = 64usize;
     let full = analysis::max_bits_consumed(spec, iters.min(24)).max(1);
+    // Samples where the spec hit its iteration budget are incomparable and
+    // skipped; a looping spec must not pass vacuously, so we demand that at
+    // least half of the requested samples were actually compared.
+    let mut effective = 0usize;
 
     // Constants worth planting into the stream (boundary bias).
     let constants: Vec<BitString> = spec
@@ -58,6 +62,7 @@ pub fn check_program_against_spec(
         if s.status == ParseStatus::IterationBudget {
             continue;
         }
+        effective += 1;
         let h = run_program(program, &spec.fields, &input, iters * 4);
         if h.status == ParseStatus::IterationBudget {
             return Err(format!("program loops on input {input}"));
@@ -71,6 +76,12 @@ pub fn check_program_against_spec(
         if s.dict != h.dict {
             return Err(format!("dictionary mismatch on {input}"));
         }
+    }
+    if effective * 2 < samples {
+        return Err(format!(
+            "only {effective} of {samples} samples were comparable \
+             (the spec hit its iteration budget on the rest)"
+        ));
     }
     Ok(())
 }
@@ -100,6 +111,28 @@ mod tests {
         .unwrap();
         let prog = direct_translate(&spec, &DeviceProfile::tofino());
         check_program_against_spec(&spec, &prog, 1, 500).unwrap();
+    }
+
+    #[test]
+    fn looping_spec_does_not_pass_vacuously() {
+        // A spec that loops without consuming input hits the iteration
+        // budget on every sample; every sample is incomparable, so the
+        // check must report that instead of passing.
+        use ph_ir::{Field, NextState, State, StateId};
+        let spec = ph_ir::ParserSpec {
+            fields: vec![Field::fixed("h_t.ty", 4)],
+            states: vec![State {
+                name: "start".into(),
+                extracts: vec![],
+                key: vec![],
+                transitions: vec![],
+                default: NextState::State(StateId(0)),
+            }],
+            start: StateId(0),
+        };
+        let prog = direct_translate(&spec, &DeviceProfile::tofino());
+        let err = check_program_against_spec(&spec, &prog, 1, 100).unwrap_err();
+        assert!(err.contains("comparable"), "{err}");
     }
 
     #[test]

@@ -68,10 +68,7 @@ pub fn run_program(
             let field = &fields[fid.0];
             let take = match &field.kind {
                 FieldKind::Fixed => field.width,
-                FieldKind::Var(v) => {
-                    let ctrl = dict.get(v.control).map(|b| b.to_u64() as i64).unwrap_or(0);
-                    (ctrl * v.multiplier + v.offset).clamp(0, field.width as i64) as usize
-                }
+                FieldKind::Var(v) => ph_ir::varbit_len(dict.get(v.control), v, field.width),
             };
             if pos + take > input.len() {
                 return SimResult {

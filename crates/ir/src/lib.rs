@@ -20,7 +20,7 @@ pub mod analysis;
 pub mod sim;
 mod spec;
 
-pub use sim::{simulate, OutputDict, ParseStatus, SimResult};
+pub use sim::{simulate, varbit_len, OutputDict, ParseStatus, SimResult};
 pub use spec::{
     Field, FieldId, FieldKind, KeyPart, NextState, ParserSpec, SpecError, State, StateId,
     Transition, VarLen,

@@ -5,9 +5,30 @@
 //! implementation must reproduce (and a parse status).  It is the oracle of
 //! the CEGIS loop's test cases and of the Fig. 22 validation simulator.
 
-use crate::spec::{FieldId, FieldKind, KeyPart, NextState, ParserSpec};
+use crate::spec::{FieldId, FieldKind, KeyPart, NextState, ParserSpec, VarLen};
 use ph_bits::BitString;
 use std::fmt;
+
+/// Concrete varbit extraction length: `control * multiplier + offset`,
+/// clamped to `[0, width]`.
+///
+/// The control value is read from the **low 64 bits** of the extracted
+/// control field (`ParserSpec::validate` rejects controls wider than 64
+/// bits, but the simulators stay total rather than panicking on specs
+/// constructed directly), and the affine map is evaluated in 128-bit
+/// arithmetic so extreme multipliers/offsets cannot overflow.  Both the
+/// spec simulator and the hardware simulator ([`ph_hw`]'s `run_program`)
+/// call this one function, so their varbit semantics are bit-identical by
+/// construction.
+pub fn varbit_len(ctrl: Option<&BitString>, v: &VarLen, width: usize) -> usize {
+    let ctrl = match ctrl {
+        Some(b) if b.len() > 64 => b.slice(b.len() - 64, b.len()).to_u64(),
+        Some(b) => b.to_u64(),
+        None => 0,
+    };
+    let len = (ctrl as i128) * (v.multiplier as i128) + (v.offset as i128);
+    len.clamp(0, width as i128) as usize
+}
 
 /// How a parse terminated.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -109,13 +130,7 @@ pub fn simulate(spec: &ParserSpec, input: &BitString, max_iters: usize) -> SimRe
             let field = spec.field(fid);
             let take = match &field.kind {
                 FieldKind::Fixed => field.width,
-                FieldKind::Var(v) => {
-                    let ctrl = match dict.get(v.control) {
-                        Some(b) => b.to_u64() as i64,
-                        None => 0,
-                    };
-                    (ctrl * v.multiplier + v.offset).clamp(0, field.width as i64) as usize
-                }
+                FieldKind::Var(v) => varbit_len(dict.get(v.control), v, field.width),
             };
             if pos + take > input.len() {
                 return SimResult {
@@ -379,6 +394,72 @@ mod tests {
         let r = simulate(&spec, &input, 10);
         assert_eq!(r.status, ParseStatus::Accept);
         assert_eq!(r.dict.get(FieldId(1)).unwrap().to_u64(), 0);
+    }
+
+    #[test]
+    fn varbit_len_wide_control_uses_low_64_bits() {
+        let v = VarLen {
+            control: FieldId(0),
+            multiplier: 2,
+            offset: 0,
+        };
+        // An 80-bit control: high 16 bits set, low 64 bits = 3.  Must not
+        // panic and must read only the low 64 bits.
+        let ctrl = BitString::ones(16).concat(&BitString::from_u64(3, 64));
+        assert_eq!(varbit_len(Some(&ctrl), &v, 100), 6);
+    }
+
+    #[test]
+    fn varbit_len_saturates_instead_of_overflowing() {
+        let v = VarLen {
+            control: FieldId(0),
+            multiplier: i64::MAX,
+            offset: i64::MAX,
+        };
+        let ctrl = BitString::from_u64(u64::MAX, 64);
+        // i64 arithmetic would wrap (wrong length in release, panic in
+        // debug); the 128-bit evaluation clamps to the declared width.
+        assert_eq!(varbit_len(Some(&ctrl), &v, 64), 64);
+        let v_neg = VarLen {
+            control: FieldId(0),
+            multiplier: i64::MIN,
+            offset: i64::MIN,
+        };
+        assert_eq!(varbit_len(Some(&ctrl), &v_neg, 64), 0);
+    }
+
+    #[test]
+    fn simulate_with_wide_varbit_control_does_not_panic() {
+        // Invalid per `validate` (80-bit control), but `simulate` is called
+        // on raw specs too and must stay total.
+        let spec = ParserSpec {
+            fields: vec![
+                Field::fixed("ctl", 80),
+                Field {
+                    name: "opts".into(),
+                    width: 8,
+                    kind: FieldKind::Var(VarLen {
+                        control: FieldId(0),
+                        multiplier: 1,
+                        offset: 0,
+                    }),
+                },
+            ],
+            states: vec![State {
+                name: "s0".into(),
+                extracts: vec![FieldId(0), FieldId(1)],
+                key: vec![],
+                transitions: vec![],
+                default: NextState::Accept,
+            }],
+            start: StateId(0),
+        };
+        // 80 control bits (low 64 = 4) then 4 varbit bits.
+        let ctrl = BitString::zeros(16).concat(&BitString::from_u64(4, 64));
+        let input = ctrl.concat(&BitString::from_u64(0b1011, 4));
+        let r = simulate(&spec, &input, 10);
+        assert_eq!(r.status, ParseStatus::Accept);
+        assert_eq!(r.dict.get(FieldId(1)).unwrap().to_u64(), 0b1011);
     }
 
     #[test]

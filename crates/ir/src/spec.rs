@@ -255,6 +255,13 @@ impl ParserSpec {
                         f.name, self.fields[v.control.0].name
                     )));
                 }
+                if self.fields[v.control.0].width > 64 {
+                    return Err(SpecError::BadVarLen(format!(
+                        "field {} is controlled by {}-bit field {}; \
+                         control fields wider than 64 bits are not supported",
+                        f.name, self.fields[v.control.0].width, self.fields[v.control.0].name
+                    )));
+                }
             }
         }
         for st in &self.states {
@@ -418,6 +425,22 @@ mod tests {
         let err = s.validate().unwrap_err();
         assert!(matches!(err, SpecError::BadVarLen(_)));
         assert!(err.to_string().contains("controlled by varbit"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_wide_varbit_control() {
+        let mut s = fig7_spec2();
+        s.fields[0].width = 80;
+        s.states[0].key = vec![]; // drop the now out-of-range key slice
+        s.states[0].transitions = vec![];
+        s.fields[1].kind = FieldKind::Var(VarLen {
+            control: FieldId(0),
+            multiplier: 1,
+            offset: 0,
+        });
+        let err = s.validate().unwrap_err();
+        assert!(matches!(err, SpecError::BadVarLen(_)));
+        assert!(err.to_string().contains("wider than 64"), "{err}");
     }
 
     #[test]
