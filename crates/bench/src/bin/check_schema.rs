@@ -6,10 +6,13 @@
 //!
 //! Two file kinds, told apart by extension:
 //!
-//! * `.json` — a `results/table*.json` document: must parse, carry
-//!   `schema_version` 1, a `table` name, git provenance, and a `rows`
-//!   array; every embedded `stats` object must carry the per-phase timings
-//!   and both SAT-counter blocks.
+//! * `.json` — a results document: must parse, carry `schema_version` 1,
+//!   a `table` name, git provenance, and a shape matching that table.
+//!   `table*` documents need a `rows` array whose embedded `stats`
+//!   objects carry the per-phase timings, both SAT-counter blocks and
+//!   the latency-histogram summaries; `profile` documents (from
+//!   `trace_prof`) need the span/cegis breakdown; `bench_diff` documents
+//!   need the per-run comparison rows and gate verdicts.
 //! * `.jsonl` — a `PH_TRACE` trace: every line must parse as one JSON
 //!   object with a `t_ns` stamp, stamps must be monotone non-decreasing,
 //!   and span enter/exit events must balance (every exit matches an open
@@ -59,6 +62,27 @@ const SAT_KEYS: &[&str] = &[
     "portfolio_imported",
 ];
 
+/// Required keys of every histogram summary (`Histogram::summary_json`).
+const HIST_KEYS: &[&str] = &["count", "min", "max", "mean", "p50", "p90", "p99"];
+
+/// The histogram blocks of a stats payload's `hists` object
+/// (`RunHists::to_json`).
+const RUN_HIST_BLOCKS: &[&str] = &[
+    "synth_query_ns",
+    "verify_query_ns",
+    "shrink_query_ns",
+    "verify_conflicts",
+];
+
+/// Validates one histogram summary object.
+fn check_hist(file: &str, ctx: &str, v: &Json) {
+    for key in HIST_KEYS {
+        if v.get(key).and_then(Json::as_f64).is_none() {
+            fail(file, format!("{ctx}.{key} missing or not a number"));
+        }
+    }
+}
+
 /// Walks the document and validates every object that appears under a
 /// `stats` key.  Returns how many stats payloads were seen.
 fn check_stats(file: &str, v: &Json) -> usize {
@@ -81,6 +105,15 @@ fn check_stats(file: &str, v: &Json) -> usize {
                             fail(file, format!("{block}.{key} missing or not an integer"));
                         }
                     }
+                }
+                let Some(hists) = child.get("hists") else {
+                    fail(file, "stats payload missing block \"hists\"".into());
+                };
+                for block in RUN_HIST_BLOCKS {
+                    let Some(h) = hists.get(block) else {
+                        fail(file, format!("stats hists missing block {block:?}"));
+                    };
+                    check_hist(file, &format!("hists.{block}"), h);
                 }
             }
             seen += check_stats(file, child);
@@ -152,6 +185,153 @@ fn check_divergences(file: &str, v: &Json) -> usize {
     seen
 }
 
+/// Validates a `trace_prof` document (`results/profile.json`).
+fn check_profile(file: &str, doc: &Json) {
+    let Some(p) = doc.get("profile") else {
+        fail(file, "missing object field \"profile\"".into());
+    };
+    for key in ["lines", "events", "warning_count"] {
+        if p.get(key).and_then(Json::as_i64).is_none() {
+            fail(file, format!("profile.{key} missing or not an integer"));
+        }
+    }
+    if p.get("warnings").and_then(Json::as_arr).is_none() {
+        fail(file, "profile.warnings missing or not an array".into());
+    }
+    let Some(spans) = p.get("spans").and_then(Json::as_arr) else {
+        fail(file, "profile.spans missing or not an array".into());
+    };
+    for (i, s) in spans.iter().enumerate() {
+        if s.get("name").and_then(Json::as_str).is_none() {
+            fail(file, format!("profile.spans[{i}] has no \"name\""));
+        }
+        for key in ["calls", "total_ns", "self_ns"] {
+            if s.get(key).and_then(Json::as_i64).is_none() {
+                fail(
+                    file,
+                    format!("profile.spans[{i}].{key} missing or not an integer"),
+                );
+            }
+        }
+        let Some(dur) = s.get("dur") else {
+            fail(file, format!("profile.spans[{i}] has no \"dur\""));
+        };
+        check_hist(file, &format!("profile.spans[{i}].dur"), dur);
+    }
+    for key in ["counters", "gauges"] {
+        if p.get(key).and_then(Json::as_obj).is_none() {
+            fail(file, format!("profile.{key} missing or not an object"));
+        }
+    }
+    let Some(c) = p.get("cegis") else {
+        fail(file, "missing object field \"profile.cegis\"".into());
+    };
+    for key in [
+        "runs",
+        "iters",
+        "total_ns",
+        "synth_ns",
+        "verify_ns",
+        "shrink_ns",
+        "assume_ns",
+        "simplify_ns",
+        "portfolio_ns",
+        "other_ns",
+    ] {
+        if c.get(key).and_then(Json::as_i64).is_none() {
+            fail(
+                file,
+                format!("profile.cegis.{key} missing or not an integer"),
+            );
+        }
+    }
+    if c.get("coverage_pct").and_then(Json::as_f64).is_none() {
+        fail(
+            file,
+            "profile.cegis.coverage_pct missing or not a number".into(),
+        );
+    }
+    let Some(per_iter) = c.get("per_iter").and_then(Json::as_arr) else {
+        fail(
+            file,
+            "profile.cegis.per_iter missing or not an array".into(),
+        );
+    };
+    for (i, it) in per_iter.iter().enumerate() {
+        for key in [
+            "total_ns",
+            "synth_ns",
+            "verify_ns",
+            "simplify_ns",
+            "portfolio_ns",
+        ] {
+            if it.get(key).and_then(Json::as_i64).is_none() {
+                fail(
+                    file,
+                    format!("profile.cegis.per_iter[{i}].{key} missing or not an integer"),
+                );
+            }
+        }
+    }
+    println!(
+        "check_schema: {file}: ok (profile: {} span names, {} iterations)",
+        spans.len(),
+        per_iter.len()
+    );
+}
+
+/// Validates a `bench_diff` document (`results/bench_diff.json`).
+fn check_bench_diff(file: &str, doc: &Json) {
+    let Some(d) = doc.get("diff") else {
+        fail(file, "missing object field \"diff\"".into());
+    };
+    let Some(rows) = d.get("rows").and_then(Json::as_arr) else {
+        fail(file, "diff.rows missing or not an array".into());
+    };
+    for (i, r) in rows.iter().enumerate() {
+        for key in ["key", "verdict"] {
+            if r.get(key).and_then(Json::as_str).is_none() {
+                fail(
+                    file,
+                    format!("diff.rows[{i}].{key} missing or not a string"),
+                );
+            }
+        }
+        for key in ["old_time_s", "new_time_s", "ratio"] {
+            if r.get(key).and_then(Json::as_f64).is_none() {
+                fail(
+                    file,
+                    format!("diff.rows[{i}].{key} missing or not a number"),
+                );
+            }
+        }
+        if r.get("notes").and_then(Json::as_arr).is_none() {
+            fail(
+                file,
+                format!("diff.rows[{i}].notes missing or not an array"),
+            );
+        }
+    }
+    for key in ["geomean_ratio", "min_time_s", "max_ratio", "geomean_max"] {
+        if d.get(key).and_then(Json::as_f64).is_none() {
+            fail(file, format!("diff.{key} missing or not a number"));
+        }
+    }
+    let Some(verdict) = d.get("verdict").and_then(Json::as_str) else {
+        fail(file, "diff.verdict missing or not a string".into());
+    };
+    if !["ok", "warning", "regression"].contains(&verdict) {
+        fail(
+            file,
+            format!("diff.verdict {verdict:?} is not a known verdict"),
+        );
+    }
+    println!(
+        "check_schema: {file}: ok (bench_diff: {} runs compared, verdict {verdict})",
+        rows.len()
+    );
+}
+
 fn check_results(file: &str, text: &str) {
     let doc = match Json::parse(text) {
         Ok(d) => d,
@@ -172,6 +352,12 @@ fn check_results(file: &str, text: &str) {
     }
     if doc.get("generated_unix").and_then(Json::as_i64).is_none() {
         fail(file, "missing integer field \"generated_unix\"".into());
+    }
+    // The `table` field picks the document shape.
+    match doc.get("table").and_then(Json::as_str) {
+        Some("profile") => return check_profile(file, &doc),
+        Some("bench_diff") => return check_bench_diff(file, &doc),
+        _ => {}
     }
     let Some(rows) = doc.get("rows").and_then(Json::as_arr) else {
         fail(file, "missing array field \"rows\"".into());
@@ -248,9 +434,19 @@ fn check_trace(file: &str, text: &str) {
                     ),
                 }
             }
-            "count" | "gauge" => {
+            "count" | "gauge" | "record" => {
                 if ev.get("name").and_then(Json::as_str).is_none() {
                     fail(file, format!("line {n}: {kind} without name"));
+                }
+            }
+            "hist" => {
+                if ev.get("name").and_then(Json::as_str).is_none() {
+                    fail(file, format!("line {n}: hist without name"));
+                }
+                for key in HIST_KEYS {
+                    if ev.get(key).and_then(Json::as_f64).is_none() {
+                        fail(file, format!("line {n}: hist without {key}"));
+                    }
                 }
             }
             "msg" => {

@@ -1,0 +1,649 @@
+//! Noise-aware benchmark diffing: the library behind `bench_diff`.
+//!
+//! Compares two `results/table*.json` documents (old = baseline, new =
+//! candidate) run-by-run and classifies each change as OK / warning /
+//! regression.  Three gate families, from machine-independent to
+//! machine-dependent:
+//!
+//! 1. **Status** — a run that was `ok` in the baseline and failed in the
+//!    candidate is a regression *when the time budgets match*; with
+//!    different budgets (e.g. a CI smoke run against a committed
+//!    full-budget baseline) it only warns, because a shorter budget
+//!    legitimately times out.
+//! 2. **Quality** — synthesized TCAM `entries` / pipeline `stages` are
+//!    deterministic for a seeded run, so *any* increase is a regression,
+//!    on every machine, with no threshold.
+//! 3. **Timing** — wall times are noisy, so the gate is a clamped ratio:
+//!    `max(t_new, floor) / max(t_old, floor)`.  The floor
+//!    ([`Thresholds::min_time_s`]) keeps sub-second runs — where jitter
+//!    dominates — from tripping the ratio; a single run regresses only
+//!    above [`Thresholds::max_ratio`], and the geometric mean of all
+//!    ratios must stay under [`Thresholds::geomean_max`] to catch
+//!    across-the-board slowdowns that stay under the per-run bar.
+//!
+//! Runs are discovered structurally: any object in a row carrying both
+//! `time_s` and `ok` keys is a run, keyed by its row name plus the JSON
+//! path to it — so the same walker handles the table3, table4 and table5
+//! row shapes (and future ones) without per-table code.
+
+use ph_obs::Json;
+
+/// Tunable gate thresholds (see the module docs), with environment
+/// overrides for CI.
+#[derive(Clone, Copy, Debug)]
+pub struct Thresholds {
+    /// Clamp floor for the timing ratio, in seconds
+    /// (`PH_DIFF_MIN_TIME_S`, default 0.5).
+    pub min_time_s: f64,
+    /// Per-run timing ratio above which a run regresses
+    /// (`PH_DIFF_MAX_RATIO`, default 1.5).
+    pub max_ratio: f64,
+    /// Geometric-mean ratio above which the whole diff regresses
+    /// (`PH_DIFF_GEOMEAN_MAX`, default 1.15).
+    pub geomean_max: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            min_time_s: 0.5,
+            max_ratio: 1.5,
+            geomean_max: 1.15,
+        }
+    }
+}
+
+impl Thresholds {
+    /// Defaults with `PH_DIFF_MIN_TIME_S` / `PH_DIFF_MAX_RATIO` /
+    /// `PH_DIFF_GEOMEAN_MAX` applied.
+    pub fn from_env() -> Thresholds {
+        let f = |name: &str, dflt: f64| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse::<f64>().ok())
+                .filter(|v| *v > 0.0)
+                .unwrap_or(dflt)
+        };
+        let d = Thresholds::default();
+        Thresholds {
+            min_time_s: f("PH_DIFF_MIN_TIME_S", d.min_time_s),
+            max_ratio: f("PH_DIFF_MAX_RATIO", d.max_ratio),
+            geomean_max: f("PH_DIFF_GEOMEAN_MAX", d.geomean_max),
+        }
+    }
+}
+
+/// How one compared run (or the whole diff) fared.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verdict {
+    /// Within thresholds.
+    Ok,
+    /// Suspicious but not gating (budget-mismatched status flip, a run
+    /// present on only one side).
+    Warning,
+    /// Gating: fail the diff.
+    Regression,
+}
+
+impl Verdict {
+    fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Warning => "warning",
+            Verdict::Regression => "regression",
+        }
+    }
+}
+
+/// One run extracted from a results document.
+#[derive(Clone, Debug)]
+struct Run {
+    ok: bool,
+    timed_out: bool,
+    time_s: f64,
+    budget_s: Option<f64>,
+    entries: Option<i64>,
+    stages: Option<i64>,
+}
+
+impl Run {
+    /// `Some(run)` when `v` looks like a `report::run_json` object.
+    fn from_json(v: &Json) -> Option<Run> {
+        let ok = v.get("ok")?.as_bool()?;
+        let time_s = v.get("time_s")?.as_f64()?;
+        Some(Run {
+            ok,
+            timed_out: v.get("timed_out").and_then(Json::as_bool).unwrap_or(false),
+            time_s,
+            budget_s: v.get("budget_s").and_then(Json::as_f64),
+            entries: v.get("entries").and_then(Json::as_i64),
+            stages: v.get("stages").and_then(Json::as_i64),
+        })
+    }
+}
+
+/// One compared run in the report.
+#[derive(Clone, Debug)]
+pub struct DiffRow {
+    /// `row name/json/path` of the run.
+    pub key: String,
+    /// Baseline wall time, seconds.
+    pub old_time_s: f64,
+    /// Candidate wall time, seconds.
+    pub new_time_s: f64,
+    /// Clamped timing ratio (new/old).
+    pub ratio: f64,
+    /// The run's verdict.
+    pub verdict: Verdict,
+    /// Human-readable reasons for a non-Ok verdict.
+    pub notes: Vec<String>,
+}
+
+/// The whole comparison.
+#[derive(Clone, Debug)]
+pub struct DiffReport {
+    /// Per-run comparisons, in document order.
+    pub rows: Vec<DiffRow>,
+    /// Runs present on one side only (`(key, "old"|"new")`).
+    pub unmatched: Vec<(String, &'static str)>,
+    /// Geometric mean of the clamped ratios.
+    pub geomean_ratio: f64,
+    /// The thresholds the gates used.
+    pub thresholds: Thresholds,
+    /// Overall verdict (worst of the rows + the geomean gate).
+    pub verdict: Verdict,
+    /// Geomean-gate note, when it fired.
+    pub geomean_note: Option<String>,
+}
+
+/// Flattens a results document into `(key, run)` pairs.
+///
+/// Each element of the top-level `rows` array is walked recursively; any
+/// object with `time_s` + `ok` becomes a run keyed by the row's `name`
+/// (plus `case` when present, distinguishing table4's per-packet rows)
+/// followed by the object-key path, e.g. `Dash V2/tofino/opt`.
+fn extract_runs(doc: &Json) -> Vec<(String, Run)> {
+    let mut out = Vec::new();
+    let Some(rows) = doc.get("rows").and_then(Json::as_arr) else {
+        return out;
+    };
+    for (i, row) in rows.iter().enumerate() {
+        let mut prefix = match row.get("name").and_then(Json::as_str) {
+            Some(n) => n.to_string(),
+            None => format!("row{i}"),
+        };
+        if let Some(case) = row.get("case").and_then(Json::as_str) {
+            prefix = format!("{prefix}/{case}");
+        }
+        walk(row, &prefix, &mut out);
+    }
+    out
+}
+
+fn walk(v: &Json, path: &str, out: &mut Vec<(String, Run)>) {
+    if let Some(run) = Run::from_json(v) {
+        out.push((path.to_string(), run));
+        return;
+    }
+    if let Some(fields) = v.as_obj() {
+        for (k, child) in fields {
+            // `stats` payloads nest timing keys that are not runs.
+            if k == "name" || k == "case" || k == "stats" {
+                continue;
+            }
+            walk(child, &format!("{path}/{k}"), out);
+        }
+    }
+}
+
+/// Compares two results documents under `th` (see the module docs).
+pub fn diff(old_doc: &Json, new_doc: &Json, th: Thresholds) -> DiffReport {
+    let old_runs = extract_runs(old_doc);
+    let new_runs = extract_runs(new_doc);
+    let mut rows = Vec::new();
+    let mut unmatched: Vec<(String, &'static str)> = Vec::new();
+    let mut log_sum = 0.0f64;
+    let mut log_n = 0u32;
+
+    for (key, old) in &old_runs {
+        let Some((_, new)) = new_runs.iter().find(|(k, _)| k == key) else {
+            unmatched.push((key.clone(), "old"));
+            continue;
+        };
+        let mut notes = Vec::new();
+        let mut verdict = Verdict::Ok;
+        let raise = |v: Verdict, verdict: &mut Verdict| {
+            if v > *verdict {
+                *verdict = v;
+            }
+        };
+
+        // Status gate.
+        if old.ok && !new.ok {
+            let same_budget = match (old.budget_s, new.budget_s) {
+                (Some(a), Some(b)) => (a - b).abs() < 1e-9,
+                _ => false,
+            };
+            let what = if new.timed_out { "times out" } else { "fails" };
+            if same_budget {
+                notes.push(format!("was ok, now {what} (same budget)"));
+                raise(Verdict::Regression, &mut verdict);
+            } else {
+                notes.push(format!(
+                    "was ok (budget {:?}s), now {what} (budget {:?}s) — budgets differ, not gating",
+                    old.budget_s, new.budget_s
+                ));
+                raise(Verdict::Warning, &mut verdict);
+            }
+        } else if !old.ok && new.ok {
+            notes.push("was failing, now ok".into());
+        }
+
+        // Quality gates: deterministic, so exact.
+        if let (Some(a), Some(b)) = (old.entries, new.entries) {
+            if b > a {
+                notes.push(format!("entries {a} -> {b}"));
+                raise(Verdict::Regression, &mut verdict);
+            } else if b < a {
+                notes.push(format!("entries {a} -> {b} (improved)"));
+            }
+        }
+        if let (Some(a), Some(b)) = (old.stages, new.stages) {
+            if b > a {
+                notes.push(format!("stages {a} -> {b}"));
+                raise(Verdict::Regression, &mut verdict);
+            } else if b < a {
+                notes.push(format!("stages {a} -> {b} (improved)"));
+            }
+        }
+
+        // Timing gate: only meaningful when both runs finished the same
+        // way (comparing a timeout's wall time to a success's is noise).
+        let ratio = if old.ok == new.ok {
+            let r = new.time_s.max(th.min_time_s) / old.time_s.max(th.min_time_s);
+            log_sum += r.ln();
+            log_n += 1;
+            if r > th.max_ratio {
+                notes.push(format!(
+                    "time {:.2}s -> {:.2}s (x{r:.2} > x{:.2})",
+                    old.time_s, new.time_s, th.max_ratio
+                ));
+                raise(Verdict::Regression, &mut verdict);
+            }
+            r
+        } else {
+            1.0
+        };
+
+        rows.push(DiffRow {
+            key: key.clone(),
+            old_time_s: old.time_s,
+            new_time_s: new.time_s,
+            ratio,
+            verdict,
+            notes,
+        });
+    }
+    for (key, _) in &new_runs {
+        if !old_runs.iter().any(|(k, _)| k == key) {
+            unmatched.push((key.clone(), "new"));
+        }
+    }
+
+    let geomean_ratio = if log_n > 0 {
+        (log_sum / f64::from(log_n)).exp()
+    } else {
+        1.0
+    };
+    let mut verdict = rows.iter().map(|r| r.verdict).max().unwrap_or(Verdict::Ok);
+    if !unmatched.is_empty() && verdict < Verdict::Warning {
+        verdict = Verdict::Warning;
+    }
+    let mut geomean_note = None;
+    if geomean_ratio > th.geomean_max {
+        geomean_note = Some(format!(
+            "geomean timing ratio x{geomean_ratio:.3} exceeds x{:.3}",
+            th.geomean_max
+        ));
+        verdict = Verdict::Regression;
+    }
+    DiffReport {
+        rows,
+        unmatched,
+        geomean_ratio,
+        thresholds: th,
+        verdict,
+        geomean_note,
+    }
+}
+
+impl DiffReport {
+    /// The text report.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<40} {:>9} {:>9} {:>7}  verdict",
+            "benchmark", "old(s)", "new(s)", "ratio"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<40} {:>9.2} {:>9.2} {:>6.2}x  {}{}",
+                r.key,
+                r.old_time_s,
+                r.new_time_s,
+                r.ratio,
+                r.verdict.as_str(),
+                if r.notes.is_empty() {
+                    String::new()
+                } else {
+                    format!(": {}", r.notes.join("; "))
+                }
+            );
+        }
+        for (key, side) in &self.unmatched {
+            let _ = writeln!(out, "{key:<40} only in the {side} results");
+        }
+        let _ = writeln!(
+            out,
+            "geomean timing ratio x{:.3} over {} runs (gate x{:.3}, per-run x{:.2}, floor {:.2}s)",
+            self.geomean_ratio,
+            self.rows.len(),
+            self.thresholds.geomean_max,
+            self.thresholds.max_ratio,
+            self.thresholds.min_time_s,
+        );
+        if let Some(note) = &self.geomean_note {
+            let _ = writeln!(out, "REGRESSION: {note}");
+        }
+        let _ = writeln!(out, "overall: {}", self.verdict.as_str());
+        out
+    }
+
+    /// The report as a JSON object (embedded in the `bench_diff` results
+    /// document; `check_schema` validates the shape).
+    pub fn to_json(&self) -> Json {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .with("key", r.key.as_str())
+                    .with("old_time_s", r.old_time_s)
+                    .with("new_time_s", r.new_time_s)
+                    .with("ratio", r.ratio)
+                    .with("verdict", r.verdict.as_str())
+                    .with(
+                        "notes",
+                        Json::Arr(r.notes.iter().map(|n| Json::from(n.as_str())).collect()),
+                    )
+            })
+            .collect();
+        let unmatched = self
+            .unmatched
+            .iter()
+            .map(|(k, side)| Json::obj().with("key", k.as_str()).with("side", *side))
+            .collect();
+        Json::obj()
+            .with("rows", Json::Arr(rows))
+            .with("unmatched", Json::Arr(unmatched))
+            .with("geomean_ratio", self.geomean_ratio)
+            .with("min_time_s", self.thresholds.min_time_s)
+            .with("max_ratio", self.thresholds.max_ratio)
+            .with("geomean_max", self.thresholds.geomean_max)
+            .with("verdict", self.verdict.as_str())
+    }
+
+    /// Whether the diff should fail the build.
+    pub fn regressed(&self) -> bool {
+        self.verdict == Verdict::Regression
+    }
+}
+
+/// Returns a copy of `doc` with every run's `time_s` multiplied by
+/// `factor` (used by CI to manufacture a known-regressed results file and
+/// prove the gate trips).
+pub fn inflate(doc: &Json, factor: f64) -> Json {
+    fn go(v: &Json, factor: f64) -> Json {
+        match v {
+            Json::Obj(fields) => {
+                let is_run = Run::from_json(v).is_some();
+                Json::Obj(
+                    fields
+                        .iter()
+                        .map(|(k, child)| {
+                            if is_run && k == "time_s" {
+                                let t = child.as_f64().unwrap_or(0.0);
+                                (k.clone(), Json::Float(t * factor))
+                            } else if k == "stats" {
+                                // Leave stats payloads untouched: the gate
+                                // reads run-level times only.
+                                (k.clone(), child.clone())
+                            } else {
+                                (k.clone(), go(child, factor))
+                            }
+                        })
+                        .collect(),
+                )
+            }
+            Json::Arr(items) => Json::Arr(items.iter().map(|c| go(c, factor)).collect()),
+            other => other.clone(),
+        }
+    }
+    go(doc, factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(ok: bool, time_s: f64, budget_s: f64, entries: i64) -> Json {
+        Json::obj()
+            .with("ok", ok)
+            .with("timed_out", !ok)
+            .with("time_s", time_s)
+            .with("budget_s", budget_s)
+            .with("entries", entries)
+            .with("stages", Json::Null)
+            .with("stats", Json::obj().with("time_s", 99.0).with("ok", false))
+    }
+
+    fn doc(rows: Vec<Json>) -> Json {
+        Json::obj()
+            .with("schema_version", 1i64)
+            .with("table", "table3")
+            .with("rows", Json::Arr(rows))
+    }
+
+    fn row(name: &str, opt: Json, orig: Json) -> Json {
+        Json::obj()
+            .with("name", name)
+            .with("tofino", Json::obj().with("opt", opt).with("orig", orig))
+    }
+
+    #[test]
+    fn unchanged_rerun_passes() {
+        let a = doc(vec![row(
+            "x",
+            run(true, 3.0, 30.0, 5),
+            run(true, 8.0, 30.0, 9),
+        )]);
+        let r = diff(&a, &a, Thresholds::default());
+        assert_eq!(r.verdict, Verdict::Ok, "{}", r.render());
+        assert!((r.geomean_ratio - 1.0).abs() < 1e-12);
+        assert_eq!(r.rows.len(), 2);
+        // The decoy stats payload was not mistaken for a run.
+        assert!(r.rows.iter().all(|x| !x.key.contains("stats")));
+    }
+
+    #[test]
+    fn slowdown_trips_the_per_run_gate() {
+        let a = doc(vec![row(
+            "x",
+            run(true, 3.0, 30.0, 5),
+            run(true, 8.0, 30.0, 9),
+        )]);
+        let b = doc(vec![row(
+            "x",
+            run(true, 9.0, 30.0, 5),
+            run(true, 8.0, 30.0, 9),
+        )]);
+        let r = diff(&a, &b, Thresholds::default());
+        assert_eq!(r.verdict, Verdict::Regression, "{}", r.render());
+        assert!(r.rows[0].notes.iter().any(|n| n.contains("time")));
+    }
+
+    #[test]
+    fn small_slowdowns_below_floor_are_noise() {
+        // 0.1s -> 0.3s is a 3x ratio but both clamp to the 0.5s floor.
+        let a = doc(vec![row(
+            "x",
+            run(true, 0.1, 30.0, 5),
+            run(true, 3.0, 30.0, 9),
+        )]);
+        let b = doc(vec![row(
+            "x",
+            run(true, 0.3, 30.0, 5),
+            run(true, 3.0, 30.0, 9),
+        )]);
+        let r = diff(&a, &b, Thresholds::default());
+        assert_eq!(r.verdict, Verdict::Ok, "{}", r.render());
+        assert!((r.rows[0].ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn broad_slowdown_trips_the_geomean_gate() {
+        // Every run 1.3x slower: under the 1.5x per-run bar, over the
+        // 1.15x geomean bar.
+        let mk = |t: f64| {
+            doc(vec![
+                row("x", run(true, t, 30.0, 5), run(true, 2.0 * t, 30.0, 9)),
+                row(
+                    "y",
+                    run(true, 3.0 * t, 30.0, 2),
+                    run(true, 4.0 * t, 30.0, 1),
+                ),
+            ])
+        };
+        let r = diff(&mk(2.0), &mk(2.6), Thresholds::default());
+        assert!(r.rows.iter().all(|x| x.verdict == Verdict::Ok));
+        assert_eq!(r.verdict, Verdict::Regression, "{}", r.render());
+        assert!(r.geomean_note.is_some());
+    }
+
+    #[test]
+    fn quality_increase_is_exact_regression() {
+        let a = doc(vec![row(
+            "x",
+            run(true, 3.0, 30.0, 5),
+            run(true, 8.0, 30.0, 9),
+        )]);
+        let b = doc(vec![row(
+            "x",
+            run(true, 3.0, 30.0, 6),
+            run(true, 8.0, 30.0, 9),
+        )]);
+        let r = diff(&a, &b, Thresholds::default());
+        assert_eq!(r.verdict, Verdict::Regression, "{}", r.render());
+        assert!(r.rows[0].notes.iter().any(|n| n.contains("entries 5 -> 6")));
+    }
+
+    #[test]
+    fn status_flip_gates_only_on_matching_budgets() {
+        let a = doc(vec![row(
+            "x",
+            run(true, 3.0, 30.0, 5),
+            run(true, 8.0, 30.0, 9),
+        )]);
+        // Same budget: regression.
+        let b = doc(vec![row(
+            "x",
+            run(false, 30.0, 30.0, 5),
+            run(true, 8.0, 30.0, 9),
+        )]);
+        let r = diff(&a, &b, Thresholds::default());
+        assert_eq!(r.rows[0].verdict, Verdict::Regression);
+        // Smaller budget (smoke run): warning only.
+        let c = doc(vec![row(
+            "x",
+            run(false, 10.0, 10.0, 5),
+            run(true, 8.0, 30.0, 9),
+        )]);
+        let r = diff(&a, &c, Thresholds::default());
+        assert_eq!(r.rows[0].verdict, Verdict::Warning, "{}", r.render());
+        assert_ne!(r.verdict, Verdict::Regression);
+    }
+
+    #[test]
+    fn unmatched_rows_warn() {
+        let a = doc(vec![row(
+            "x",
+            run(true, 3.0, 30.0, 5),
+            run(true, 8.0, 30.0, 9),
+        )]);
+        let b = doc(vec![
+            row("x", run(true, 3.0, 30.0, 5), run(true, 8.0, 30.0, 9)),
+            row("y", run(true, 1.0, 30.0, 2), run(true, 1.0, 30.0, 2)),
+        ]);
+        let r = diff(&a, &b, Thresholds::default());
+        assert_eq!(r.verdict, Verdict::Warning);
+        assert_eq!(r.unmatched.len(), 2);
+    }
+
+    #[test]
+    fn inflate_scales_run_times_only() {
+        let a = doc(vec![row(
+            "x",
+            run(true, 3.0, 30.0, 5),
+            run(true, 8.0, 30.0, 9),
+        )]);
+        let b = inflate(&a, 2.0);
+        let r = diff(&a, &b, Thresholds::default());
+        assert_eq!(r.verdict, Verdict::Regression, "{}", r.render());
+        // budget_s and the stats decoy are untouched.
+        let row0 = &b.get("rows").unwrap().as_arr().unwrap()[0];
+        let opt = row0.get("tofino").unwrap().get("opt").unwrap();
+        assert_eq!(opt.get("time_s").unwrap().as_f64(), Some(6.0));
+        assert_eq!(opt.get("budget_s").unwrap().as_f64(), Some(30.0));
+        assert_eq!(
+            opt.get("stats").unwrap().get("time_s").unwrap().as_f64(),
+            Some(99.0)
+        );
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let a = doc(vec![row(
+            "x",
+            run(true, 3.0, 30.0, 5),
+            run(true, 8.0, 30.0, 9),
+        )]);
+        let j = diff(&a, &a, Thresholds::default()).to_json();
+        for key in [
+            "rows",
+            "unmatched",
+            "geomean_ratio",
+            "min_time_s",
+            "max_ratio",
+            "geomean_max",
+            "verdict",
+        ] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
+        let rows = j.get("rows").unwrap().as_arr().unwrap();
+        for r in rows {
+            for key in [
+                "key",
+                "old_time_s",
+                "new_time_s",
+                "ratio",
+                "verdict",
+                "notes",
+            ] {
+                assert!(r.get(key).is_some(), "row missing {key}");
+            }
+        }
+    }
+}

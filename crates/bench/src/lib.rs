@@ -12,6 +12,7 @@
 //!   (default 10; the paper used 24 h — timeouts print as `>Ns`, exactly
 //!   like the paper's `>86400` rows).
 
+pub mod diff;
 pub mod harness;
 pub mod report;
 

@@ -19,6 +19,11 @@ const VOLATILE_KEYS: &[&str] = &[
     "shrink_time_s",
     "wall_s",
     "simplify_time_ns",
+    // Per-query latency histograms are wall-clock distributions (the
+    // verify_conflicts histogram is deterministic and stays checked).
+    "synth_query_ns",
+    "verify_query_ns",
+    "shrink_query_ns",
     // Derived from wall-clock ratios, so timing too.
     "geomean_speedup",
     "generated_unix",

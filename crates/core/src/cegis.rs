@@ -345,6 +345,12 @@ fn run_cegis(
     let mut entry_cap: Option<u64> = None;
     let mut best: Option<ConcreteSkel> = None;
 
+    // The descent + shrink proper (setup above is accounted under
+    // `synth.run` / `verify.encode`).  The `cegis.synth` / `cegis.verify` /
+    // `cegis.shrink` child spans are arranged to cover this span's wall
+    // time to within ~1%: everything else inside it is loop control.
+    let run_span = tracer.span("cegis.run");
+
     'outer: loop {
         stats.budget_levels += 1;
         tracer.msg_with(Level::Debug, || {
@@ -353,19 +359,23 @@ fn run_cegis(
                 stats.budget_levels
             )
         });
-        let mut assumptions: Vec<Term> = Vec::new();
-        if let Some(b) = stage_cap {
-            let stages = vars.stage.as_ref().expect("pipelined device has stages");
-            let stb = smt.width(stages[0]);
-            let bc = smt.const_u64(b, stb);
-            for &s in stages.iter() {
-                assumptions.push(smt.ule(s, bc));
+        let assumptions: Vec<Term> = {
+            let _s = tracer.span("cegis.assume");
+            let mut assumptions = Vec::new();
+            if let Some(b) = stage_cap {
+                let stages = vars.stage.as_ref().expect("pipelined device has stages");
+                let stb = smt.width(stages[0]);
+                let bc = smt.const_u64(b, stb);
+                for &s in stages.iter() {
+                    assumptions.push(smt.ule(s, bc));
+                }
             }
-        }
-        if let Some(b) = entry_cap {
-            let bc = smt.const_u64(b, vars.count_bits);
-            assumptions.push(smt.ule(vars.active_count, bc));
-        }
+            if let Some(b) = entry_cap {
+                let bc = smt.const_u64(b, vars.count_bits);
+                assumptions.push(smt.ule(vars.active_count, bc));
+            }
+            assumptions
+        };
 
         // Inner CEGIS at this budget.
         for _iter in 0..params.max_cegis_iters {
@@ -378,12 +388,20 @@ fn run_cegis(
                 return finish_or_timeout(best, shape, orig_spec, device, params, stats);
             }
             stats.cegis_iterations += 1;
+            let _iter_span = tracer.span("cegis.iter");
             let ts = Instant::now();
-            let synth_result = {
+            // The synth phase covers model extraction too, so the span
+            // (and synth_time) is the full synthesis-side cost.
+            let (synth_result, candidate) = {
                 let _s = tracer.span("cegis.synth");
-                smt.check_assuming(&assumptions)
+                let r = smt.check_assuming(&assumptions);
+                let c =
+                    (r == SmtResult::Sat).then(|| skeleton::extract_model(&mut smt, shape, &vars));
+                (r, c)
             };
-            stats.synth_time += ts.elapsed();
+            let dt = ts.elapsed();
+            stats.synth_time += dt;
+            stats.hists.synth_query_ns.record(dt.as_nanos() as u64);
             match synth_result {
                 SmtResult::Unsat => {
                     let Some(b) = &best else {
@@ -407,34 +425,40 @@ fn run_cegis(
                 }
                 SmtResult::Sat => {}
             }
-            let candidate = skeleton::extract_model(&mut smt, shape, &vars);
+            let candidate = candidate.expect("Sat result implies a model");
 
-            // Verification phase: one incremental check under assumptions.
+            // Verification phase: one incremental check under assumptions,
+            // plus encoding the counterexample as a new test case — the
+            // span (and verify_time) is the full verification-side cost.
             let tv = Instant::now();
             let sat_before = verifier.solver_stats();
-            let verdict = {
-                let _s = tracer.span("cegis.verify");
-                verifier.verify(&candidate)
-            };
+            let vspan = tracer.span("cegis.verify");
+            let verdict = verifier.verify(&candidate);
             stats.verify_checks += 1;
-            stats.verify_time += tv.elapsed();
+            if let Verdict::Counterexample(cex) = &verdict {
+                stats.counterexamples += 1;
+                tracer.count("cegis.cex", 1);
+                add_test(&mut smt, cex, &mut stats);
+            }
+            drop(vspan);
+            let dt = tv.elapsed();
+            stats.verify_time += dt;
+            stats.hists.verify_query_ns.record(dt.as_nanos() as u64);
             // Per-query solver effort: the delta this one check cost.
             let d = verifier.solver_stats().delta_since(sat_before);
             stats.max_verify_conflicts = stats.max_verify_conflicts.max(d.conflicts);
+            stats.hists.verify_conflicts.record(d.conflicts);
             if tracer.enabled() {
                 tracer.count("verify.conflicts", d.conflicts);
                 tracer.count("verify.decisions", d.decisions);
                 tracer.count("verify.propagations", d.propagations);
+                tracer.record("verify.conflicts", d.conflicts);
             }
             match verdict {
                 Verdict::Unknown => {
                     break 'outer;
                 }
-                Verdict::Counterexample(cex) => {
-                    stats.counterexamples += 1;
-                    tracer.count("cegis.cex", 1);
-                    add_test(&mut smt, &cex, &mut stats);
-                }
+                Verdict::Counterexample(_) => {}
                 Verdict::Verified => {
                     tracer.count("cegis.verified", 1);
                     // Verified: record and tighten the active budget.
@@ -474,6 +498,7 @@ fn run_cegis(
     if let Some(conc) = best.take() {
         best = Some(shrink_masks(shape, &mut verifier, conc, &flag, &mut stats));
     }
+    drop(run_span);
 
     stats.wall = t0.elapsed();
     stats.synth_sat = smt.solver_stats();
@@ -680,7 +705,9 @@ fn shrink_masks(
             let verdict = verifier.verify(&trial);
             stats.verify_checks += 1;
             stats.shrink_trials += 1;
-            stats.shrink_time += tv.elapsed();
+            let dt = tv.elapsed();
+            stats.shrink_time += dt;
+            stats.hists.shrink_query_ns.record(dt.as_nanos() as u64);
             tracer.count("shrink.trials", 1);
             if tracer.enabled() {
                 let d = verifier.solver_stats().delta_since(sat_before);

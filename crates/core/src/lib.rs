@@ -177,8 +177,37 @@ impl Default for SynthParams {
     }
 }
 
+/// Per-run latency histograms (log-bucketed, mergeable;
+/// [`ph_obs::Histogram`]).  Recorded unconditionally — they are a few
+/// bucket increments per solver query — so untraced benchmark runs
+/// still export tail latencies (p50/p90/p99) in `results/table*.json`.
+#[derive(Clone, Debug, Default)]
+pub struct RunHists {
+    /// Synthesis-phase solver query durations, in nanoseconds.
+    pub synth_query_ns: ph_obs::Histogram,
+    /// Verification query durations (candidate checks), in nanoseconds.
+    pub verify_query_ns: ph_obs::Histogram,
+    /// Mask-shrinking trial durations, in nanoseconds.
+    pub shrink_query_ns: ph_obs::Histogram,
+    /// CDCL conflicts per verification query — the distribution behind
+    /// [`SynthStats::max_verify_conflicts`].
+    pub verify_conflicts: ph_obs::Histogram,
+}
+
+impl RunHists {
+    /// The histograms as a JSON object of summaries
+    /// (`{count,min,max,mean,p50,p90,p99}` each).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("synth_query_ns", self.synth_query_ns.summary_json())
+            .with("verify_query_ns", self.verify_query_ns.summary_json())
+            .with("shrink_query_ns", self.shrink_query_ns.summary_json())
+            .with("verify_conflicts", self.verify_conflicts.summary_json())
+    }
+}
+
 /// Statistics of a synthesis run (the Table 3 columns).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct SynthStats {
     /// Total width in bits of the skeleton's decision variables — the
     /// "Search Space (bits)" column.
@@ -225,6 +254,8 @@ pub struct SynthStats {
     pub portfolio_races: u64,
     /// Learned clauses imported back from winning portfolio workers.
     pub portfolio_clauses_imported: u64,
+    /// Per-query latency and conflict distributions.
+    pub hists: RunHists,
 }
 
 /// [`SolverStats`] as a JSON object.
@@ -271,6 +302,7 @@ impl SynthStats {
                 "portfolio_clauses_imported",
                 self.portfolio_clauses_imported,
             )
+            .with("hists", self.hists.to_json())
     }
 }
 

@@ -112,6 +112,17 @@ fn synthesis_trace_is_wellformed_jsonl() {
                 let delta = ev.get("delta").and_then(Json::as_i64).expect("count delta");
                 *counters.entry(name.to_string()).or_insert(0) += delta;
             }
+            "record" => {
+                assert!(ev.get("name").and_then(Json::as_str).is_some());
+                assert!(ev.get("value").and_then(Json::as_i64).is_some());
+            }
+            "hist" => {
+                // Flush-time summary: name plus the percentile block.
+                assert!(ev.get("name").and_then(Json::as_str).is_some());
+                for key in ["count", "min", "max", "mean", "p50", "p90", "p99"] {
+                    assert!(ev.get(key).is_some(), "hist event missing {key}: {line}");
+                }
+            }
             "gauge" | "msg" => {}
             other => panic!("line {}: unknown event kind {other:?}", i + 1),
         }
@@ -125,6 +136,9 @@ fn synthesis_trace_is_wellformed_jsonl() {
         "synth.reduce",
         "synth.skeleton",
         "verify.encode",
+        "cegis.run",
+        "cegis.iter",
+        "cegis.assume",
         "cegis.synth",
         "cegis.verify",
         "smt.check",
@@ -134,6 +148,13 @@ fn synthesis_trace_is_wellformed_jsonl() {
             "no {must:?} span in trace; saw {entered:?}"
         );
     }
+
+    // One cegis.iter span per counted CEGIS iteration.
+    assert_eq!(
+        entered.iter().filter(|s| *s == "cegis.iter").count(),
+        out.stats.cegis_iterations,
+        "cegis.iter spans disagree with stats"
+    );
 
     // Trace counters agree with the returned statistics.
     // The budget descent verifies a candidate at each successful level.

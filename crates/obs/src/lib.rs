@@ -57,16 +57,22 @@
 //! assert_eq!(sink.events().len(), 5); // 2 enters, 1 count, 2 exits
 //! ```
 
+pub mod heartbeat;
+pub mod hist;
 pub mod json;
+pub mod profile;
 mod sink;
 
+pub use heartbeat::HeartbeatSink;
+pub use hist::Histogram;
 pub use json::{Json, JsonError};
 pub use sink::{JsonlSink, MemorySink, NoopSink, OwnedEvent, Sink, Summary, SummarySink};
 
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Message severity, most severe first.
@@ -152,6 +158,23 @@ pub enum EventKind<'a> {
         /// Text.
         text: &'a str,
     },
+    /// An explicit histogram sample ([`Tracer::record`]); span durations
+    /// are recorded too but not re-emitted (the exit event already
+    /// carries `dur_ns`).
+    Record {
+        /// Histogram name.
+        name: &'a str,
+        /// The sample.
+        value: u64,
+    },
+    /// A histogram summary, emitted once per recorded name at
+    /// [`Tracer::flush`].
+    Hist {
+        /// Histogram name (span name or [`Tracer::record`] name).
+        name: &'a str,
+        /// The aggregated distribution.
+        hist: &'a hist::Histogram,
+    },
 }
 
 /// One trace event as handed to a [`Sink`].
@@ -178,6 +201,25 @@ struct Inner {
     sink: Arc<dyn Sink>,
     branch: Option<String>,
     verbosity: Level,
+    /// Per-name latency/value histograms, shared across branch and
+    /// verbosity clones so one run's spans aggregate into one registry.
+    hists: Arc<Mutex<BTreeMap<String, hist::Histogram>>>,
+}
+
+impl Inner {
+    /// Records a sample into the shared histogram registry.
+    fn record_hist(&self, name: &str, value: u64) {
+        if let Ok(mut h) = self.hists.lock() {
+            match h.get_mut(name) {
+                Some(hist) => hist.record(value),
+                None => {
+                    let mut hist = hist::Histogram::new();
+                    hist.record(value);
+                    h.insert(name.to_string(), hist);
+                }
+            }
+        }
+    }
 }
 
 /// A handle that emits events into a sink, or does nothing when disabled.
@@ -221,6 +263,7 @@ impl Tracer {
                 sink,
                 branch: None,
                 verbosity: Level::Info,
+                hists: Arc::new(Mutex::new(BTreeMap::new())),
             })),
         }
     }
@@ -229,16 +272,19 @@ impl Tracer {
     /// [crate docs](crate) for the `PH_TRACE` / `PH_TRACE_LEVEL` knobs).
     /// Unset or unusable configurations yield a disabled tracer.
     pub fn from_env() -> Tracer {
-        let Ok(spec) = std::env::var("PH_TRACE") else {
-            return Tracer::disabled();
-        };
-        if spec.is_empty() {
-            return Tracer::disabled();
-        }
         let verbosity = std::env::var("PH_TRACE_LEVEL")
             .ok()
             .and_then(|s| Level::parse(&s))
             .unwrap_or(Level::Info);
+        let spec = std::env::var("PH_TRACE").unwrap_or_default();
+        if spec.is_empty() {
+            // No trace requested; PH_HEARTBEAT_SECS alone still gets
+            // periodic progress lines (over a no-op sink).
+            return match heartbeat::standalone_from_env() {
+                Some(sink) => Tracer::new(sink).with_verbosity(verbosity),
+                None => Tracer::disabled(),
+            };
+        }
         let sink: Arc<dyn Sink> = if spec == "summary" {
             Arc::new(SummarySink::stderr())
         } else {
@@ -250,7 +296,7 @@ impl Tracer {
                 }
             }
         };
-        Tracer::new(sink).with_verbosity(verbosity)
+        Tracer::new(heartbeat::wrap_from_env(sink)).with_verbosity(verbosity)
     }
 
     /// Sets the message verbosity threshold.
@@ -260,6 +306,7 @@ impl Tracer {
                 sink: inner.sink.clone(),
                 branch: inner.branch.clone(),
                 verbosity,
+                hists: inner.hists.clone(),
             }));
         }
         self
@@ -275,6 +322,7 @@ impl Tracer {
                     sink: inner.sink.clone(),
                     branch: Some(branch.to_string()),
                     verbosity: inner.verbosity,
+                    hists: inner.hists.clone(),
                 })),
             },
         }
@@ -358,9 +406,41 @@ impl Tracer {
         }
     }
 
-    /// Flushes the sink's buffered output.
+    /// Records a sample into the named histogram (and emits a `record`
+    /// event so raw values survive into traces).  Span durations are
+    /// recorded automatically under the span's name; use this for
+    /// non-duration distributions (per-query conflicts, clause counts).
+    pub fn record(&self, name: &str, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.record_hist(name, value);
+            self.emit(inner, EventKind::Record { name, value });
+        }
+    }
+
+    /// A copy of every histogram recorded so far (span durations in
+    /// nanoseconds plus explicit [`Tracer::record`] series), keyed by
+    /// name.  Shared across branch clones of this tracer.
+    pub fn hist_snapshot(&self) -> BTreeMap<String, hist::Histogram> {
+        match &self.inner {
+            Some(inner) => inner.hists.lock().map(|h| h.clone()).unwrap_or_default(),
+            None => BTreeMap::new(),
+        }
+    }
+
+    /// Flushes the sink's buffered output, first emitting one `hist`
+    /// summary event per recorded histogram name (p50/p90/p99 land in the
+    /// trace and in summary tables without any offline pass).
     pub fn flush(&self) {
         if let Some(inner) = &self.inner {
+            for (name, hist) in self.hist_snapshot() {
+                self.emit(
+                    inner,
+                    EventKind::Hist {
+                        name: &name,
+                        hist: &hist,
+                    },
+                );
+            }
             inner.sink.flush();
         }
     }
@@ -398,6 +478,7 @@ impl Drop for Span {
             }
         });
         if let Some(inner) = &st.tracer.inner {
+            inner.record_hist(st.name, dur_ns);
             st.tracer.emit(
                 inner,
                 EventKind::SpanExit {
@@ -608,14 +689,23 @@ mod tests {
         let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
         let mut last = 0i64;
         let mut n = 0;
+        let mut hist_lines = 0;
         for line in text.lines() {
             let v = Json::parse(line).expect("line parses");
             let t = v.get("t_ns").unwrap().as_i64().unwrap();
             assert!(t >= last, "timestamps must be monotone");
             last = t;
             n += 1;
+            if v.get("ev").and_then(Json::as_str) == Some("hist") {
+                hist_lines += 1;
+                assert_eq!(v.get("name").and_then(Json::as_str), Some("a"));
+                assert_eq!(v.get("count").and_then(Json::as_i64), Some(1));
+                assert!(v.get("p99").and_then(Json::as_i64).is_some());
+            }
         }
-        assert_eq!(n, 4);
+        // 2 span events + 1 count + 1 msg + the flush-time histogram
+        // summary of span "a"'s duration.
+        assert_eq!((n, hist_lines), (5, 1));
     }
 
     #[derive(Default)]

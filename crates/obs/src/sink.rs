@@ -121,6 +121,26 @@ impl Sink for JsonlSink {
                 let _ = write!(line, ",\"ev\":\"msg\",\"level\":\"{}\",\"text\":", level);
                 write_json_str(&mut line, text);
             }
+            EventKind::Record { name, value } => {
+                line.push_str(",\"ev\":\"record\",\"name\":");
+                write_json_str(&mut line, name);
+                let _ = write!(line, ",\"value\":{value}");
+            }
+            EventKind::Hist { name, hist } => {
+                line.push_str(",\"ev\":\"hist\",\"name\":");
+                write_json_str(&mut line, name);
+                let _ = write!(
+                    line,
+                    ",\"count\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}",
+                    hist.count(),
+                    hist.min(),
+                    hist.max(),
+                    crate::Json::Float(hist.mean()),
+                    hist.p50(),
+                    hist.p90(),
+                    hist.p99()
+                );
+            }
         }
         line.push_str("}\n");
         let _ = out.write_all(line.as_bytes());
@@ -149,6 +169,9 @@ pub struct Summary {
     pub counters: BTreeMap<String, u64>,
     /// Per gauge name: last reported value.
     pub gauges: BTreeMap<String, u64>,
+    /// Per histogram name: (count, p50, p90, p99) from the `hist` summary
+    /// events the tracer emits at flush.
+    pub hists: BTreeMap<String, (u64, u64, u64, u64)>,
 }
 
 impl Summary {
@@ -169,6 +192,12 @@ impl Summary {
         }
         for (name, v) in &self.gauges {
             let _ = writeln!(out, "gauge {name:<28} {v}");
+        }
+        for (name, (n, p50, p90, p99)) in &self.hists {
+            let _ = writeln!(
+                out,
+                "hist  {name:<28} x{n:<6} p50 {p50} p90 {p90} p99 {p99}"
+            );
         }
         out
     }
@@ -245,6 +274,17 @@ impl Sink for SummarySink {
                 Some(b) => eprintln!("[{level}][{b}] {text}"),
                 None => eprintln!("[{level}] {text}"),
             },
+            // Raw samples are aggregated by the tracer's registry; the
+            // flush-time summaries land in the table below.
+            EventKind::Record { .. } => {}
+            EventKind::Hist { name, hist } => {
+                if let Ok(mut s) = self.state.lock() {
+                    s.hists.insert(
+                        name.to_string(),
+                        (hist.count(), hist.p50(), hist.p90(), hist.p99()),
+                    );
+                }
+            }
         }
     }
 
@@ -302,6 +342,24 @@ pub enum OwnedEvent {
         /// Text.
         text: String,
     },
+    /// Explicit histogram sample.
+    Record {
+        /// Histogram name.
+        name: String,
+        /// The sample.
+        value: u64,
+    },
+    /// Flush-time histogram summary.
+    Hist {
+        /// Histogram name.
+        name: String,
+        /// Samples recorded.
+        count: u64,
+        /// Median.
+        p50: u64,
+        /// 99th percentile.
+        p99: u64,
+    },
 }
 
 /// Test sink: records owned copies of every event.
@@ -346,6 +404,16 @@ impl Sink for MemorySink {
             EventKind::Message { level, text } => OwnedEvent::Msg {
                 level,
                 text: text.to_string(),
+            },
+            EventKind::Record { name, value } => OwnedEvent::Record {
+                name: name.to_string(),
+                value,
+            },
+            EventKind::Hist { name, hist } => OwnedEvent::Hist {
+                name: name.to_string(),
+                count: hist.count(),
+                p50: hist.p50(),
+                p99: hist.p99(),
             },
         };
         if let Ok(mut e) = self.events.lock() {
