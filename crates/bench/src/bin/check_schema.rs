@@ -12,7 +12,12 @@
 //!   objects carry the per-phase timings, both SAT-counter blocks and
 //!   the latency-histogram summaries; `profile` documents (from
 //!   `trace_prof`) need the span/cegis breakdown; `bench_diff` documents
-//!   need the per-run comparison rows and gate verdicts.
+//!   need the per-run comparison rows and gate verdicts; `svc_bench`
+//!   documents need the per-case cold/warm rows, the summary block and
+//!   the daemon's counters.  A `.json` file carrying a top-level
+//!   `cache_version` instead is a `ph-svc` result-cache entry
+//!   (`$PH_CACHE_DIR/<key>.json`) and is validated against the cache
+//!   entry shape for that version.
 //! * `.jsonl` — a `PH_TRACE` trace: every line must parse as one JSON
 //!   object with a `t_ns` stamp, stamps must be monotone non-decreasing,
 //!   and span enter/exit events must balance (every exit matches an open
@@ -23,6 +28,7 @@
 
 use ph_bench::report::SCHEMA_VERSION;
 use ph_obs::Json;
+use ph_svc::CACHE_FORMAT_VERSION;
 use std::collections::HashMap;
 
 fn fail(file: &str, msg: String) -> ! {
@@ -332,11 +338,146 @@ fn check_bench_diff(file: &str, doc: &Json) {
     );
 }
 
+/// Validates an `svc_bench` document (`results/svc_bench.json`).
+fn check_svc_bench(file: &str, doc: &Json) {
+    let Some(rows) = doc.get("rows").and_then(Json::as_arr) else {
+        fail(file, "missing array field \"rows\"".into());
+    };
+    for (i, r) in rows.iter().enumerate() {
+        if r.get("name").and_then(Json::as_str).is_none() {
+            fail(file, format!("rows[{i}] has no \"name\""));
+        }
+        match r.get("outcome").and_then(Json::as_str) {
+            Some("ok" | "alias" | "timeout" | "failed") => {}
+            Some(o) => fail(file, format!("rows[{i}].outcome {o:?} is not known")),
+            None => fail(file, format!("rows[{i}].outcome missing or not a string")),
+        }
+        if r.get("identical").and_then(Json::as_bool).is_none() {
+            fail(file, format!("rows[{i}].identical missing or not a bool"));
+        }
+        for pass in ["cold", "warm"] {
+            let Some(p) = r.get(pass) else {
+                fail(file, format!("rows[{i}] missing pass object {pass:?}"));
+            };
+            if p.get("time_s").and_then(Json::as_f64).is_none() {
+                fail(
+                    file,
+                    format!("rows[{i}].{pass}.time_s missing or not a number"),
+                );
+            }
+            if p.get("cache_hit").and_then(Json::as_bool).is_none() {
+                fail(
+                    file,
+                    format!("rows[{i}].{pass}.cache_hit missing or not a bool"),
+                );
+            }
+        }
+    }
+    let Some(s) = doc.get("summary") else {
+        fail(file, "missing object field \"summary\"".into());
+    };
+    for key in [
+        "cases",
+        "failures",
+        "mismatches",
+        "warm_misses",
+        "timeouts",
+        "alias_pairs",
+    ] {
+        if s.get(key).and_then(Json::as_i64).is_none() {
+            fail(file, format!("summary.{key} missing or not an integer"));
+        }
+    }
+    let Some(g) = s.get("geomean_warm_speedup").and_then(Json::as_f64) else {
+        fail(
+            file,
+            "summary.geomean_warm_speedup missing or not a number".into(),
+        );
+    };
+    for block in ["cold_latency_us", "warm_latency_us"] {
+        let Some(h) = s.get(block) else {
+            fail(file, format!("summary missing block {block:?}"));
+        };
+        check_hist(file, &format!("summary.{block}"), h);
+    }
+    if doc.get("drained").and_then(Json::as_bool).is_none() {
+        fail(file, "drained missing or not a bool".into());
+    }
+    let Some(d) = doc.get("daemon") else {
+        fail(file, "missing object field \"daemon\"".into());
+    };
+    for key in [
+        "submitted",
+        "completed",
+        "dedup_hits",
+        "rejected_full",
+        "cache_hits",
+        "cache_misses",
+    ] {
+        if d.get(key).and_then(Json::as_i64).is_none() {
+            fail(file, format!("daemon.{key} missing or not an integer"));
+        }
+    }
+    println!(
+        "check_schema: {file}: ok (svc_bench: {} cases, geomean warm speed-up {g:.1}x)",
+        rows.len()
+    );
+}
+
+/// Validates one `ph-svc` result-cache entry (`$PH_CACHE_DIR/<key>.json`),
+/// dispatching on its `cache_version` field.
+fn check_cache_entry(file: &str, doc: &Json) {
+    match doc.get("cache_version").and_then(Json::as_i64) {
+        Some(v) if v == i64::from(CACHE_FORMAT_VERSION) => {}
+        Some(v) => fail(
+            file,
+            format!("cache_version {v}, expected {CACHE_FORMAT_VERSION}"),
+        ),
+        None => fail(file, "cache_version is not an integer".into()),
+    }
+    let Some(key) = doc.get("key").and_then(Json::as_str) else {
+        fail(file, "missing string field \"key\"".into());
+    };
+    if key.len() != 64 || !key.bytes().all(|b| b.is_ascii_hexdigit()) {
+        fail(file, format!("key {key:?} is not a 64-char hex digest"));
+    }
+    if doc.get("created_unix").and_then(Json::as_i64).is_none() {
+        fail(file, "missing integer field \"created_unix\"".into());
+    }
+    let Some(p) = doc.get("provenance") else {
+        fail(file, "missing object field \"provenance\"".into());
+    };
+    for k in ["tool", "crate_version", "device_name"] {
+        if p.get(k).and_then(Json::as_str).is_none() {
+            fail(file, format!("provenance.{k} missing or not a string"));
+        }
+    }
+    if doc.get("program").and_then(Json::as_obj).is_none() {
+        fail(file, "program missing or not an object".into());
+    }
+    let stats = check_stats(file, doc);
+    if stats != 1 {
+        fail(
+            file,
+            format!("expected exactly 1 stats payload, found {stats}"),
+        );
+    }
+    println!(
+        "check_schema: {file}: ok (cache entry, key {}…)",
+        &key[..12]
+    );
+}
+
 fn check_results(file: &str, text: &str) {
     let doc = match Json::parse(text) {
         Ok(d) => d,
         Err(e) => fail(file, format!("not valid JSON: {e}")),
     };
+    // Result-cache entries live outside the report schema: they carry a
+    // `cache_version` of their own instead of `schema_version`.
+    if doc.get("cache_version").is_some() {
+        return check_cache_entry(file, &doc);
+    }
     match doc.get("schema_version").and_then(Json::as_i64) {
         Some(v) if v == SCHEMA_VERSION => {}
         Some(v) => fail(
@@ -357,6 +498,7 @@ fn check_results(file: &str, text: &str) {
     match doc.get("table").and_then(Json::as_str) {
         Some("profile") => return check_profile(file, &doc),
         Some("bench_diff") => return check_bench_diff(file, &doc),
+        Some("svc_bench") => return check_svc_bench(file, &doc),
         _ => {}
     }
     let Some(rows) = doc.get("rows").and_then(Json::as_arr) else {

@@ -19,6 +19,8 @@
 //!   translation (the fast CI smoke mode).
 //! * `PH_FUZZ_BUDGET` — per-case packet budget (default 0: run every
 //!   generated packet).
+//! * `PH_CACHE_DIR` — enables the `ph-svc` synthesis-result cache for the
+//!   per-case synthesis (the fuzzing itself always runs fresh).
 //! * `PH_FUZZ_CORRUPT=1` — mutation-testing mode: instead of checking the
 //!   real programs, inject a corruption into the baseline translation of
 //!   every case and demand that the oracle catches it with a shrunk
@@ -159,6 +161,7 @@ fn main() {
             let r = Synthesizer::new(device.clone(), OptConfig::all())
                 .with_params(SynthParams {
                     timeout: Some(synth_budget),
+                    cache: ph_svc::DiskCache::from_env(),
                     ..Default::default()
                 })
                 .synthesize(&case.spec);

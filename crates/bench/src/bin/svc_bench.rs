@@ -1,0 +1,299 @@
+//! Benchmarks the `ph-svc` synthesis service end to end: a real in-process
+//! daemon is driven over TCP through a **cold** pass (empty result cache —
+//! every case synthesizes) and a **warm** pass (fully populated cache —
+//! every case replays), over the Table 3 benchmark registry.
+//!
+//! ```text
+//! cargo run -p ph-bench --release --bin svc_bench [-- --jobs N]
+//! ```
+//!
+//! Per case the warm program text is byte-compared against the cold one —
+//! the cache must be invisible to results, only to time.  The stdout table
+//! shows both times, the speed-up and the identity check; the summary
+//! reports the geometric-mean warm speed-up and request-latency histograms
+//! (p50/p99) for both passes.  Exits non-zero on any failed case, any
+//! non-identical warm replay, or any warm request that missed the cache.
+//!
+//! Two row classes are excluded from the speed-up geomean (but still
+//! printed and recorded, never silently dropped):
+//!
+//! * **timeout** — both passes hit the synthesis deadline (the registry's
+//!   known-hard cases, e.g. Sai V2, time out in Table 3 as well; with no
+//!   successful synthesis there is no entry to replay).  Consistent
+//!   timeouts are not failures; a case that times out in one pass but not
+//!   the other is.
+//! * **alias** — the *cold* request already hit the cache because an
+//!   earlier case in the same pass canonicalizes to the same content key
+//!   (e.g. "Parse MPLS - R1" aliases "Parse MPLS").  Replay-over-replay
+//!   says nothing about the cache, so the pair carries no speed-up signal;
+//!   the row must still replay byte-identically and hit when warm.
+//!
+//! Environment knobs:
+//!
+//! * `PH_SVC_BENCH_FILTER=MPLS` — restrict cases by substring.
+//! * `PH_SVC_BENCH_TIMEOUT_SECS` — per-request deadline (default 30).
+//! * `PH_SVC_BENCH_CACHE_DIR` — cache directory (default: a fresh
+//!   temporary directory, removed afterwards).  It is cleared before the
+//!   cold pass either way, so the cold pass is genuinely cold.
+//!
+//! A machine-readable `results/svc_bench.json` (see [`ph_bench::report`])
+//! records every row plus the daemon's own counters.
+
+use ph_bench::{env_secs, geomean, jobs_from_args, par_map, report};
+use ph_core::{CacheHook, OptConfig};
+use ph_hw::DeviceProfile;
+use ph_obs::{Histogram, Json};
+use ph_svc::{Client, DiskCache, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One pass's outcome for one case.
+struct PassResult {
+    time: Duration,
+    cache_hit: bool,
+    program_text: Option<String>,
+    entries: Option<usize>,
+    error: Option<String>,
+}
+
+fn run_pass(
+    addr: &str,
+    jobs: usize,
+    cases: &[ph_benchmarks::Case],
+    device: &DeviceProfile,
+    deadline: Duration,
+) -> Vec<PassResult> {
+    par_map(jobs, cases, |case| {
+        let t0 = Instant::now();
+        let outcome = Client::connect(addr)
+            .and_then(|mut c| c.submit_wait(&case.spec, device, OptConfig::all(), Some(deadline)));
+        let time = t0.elapsed();
+        match outcome {
+            Ok(out) => PassResult {
+                time,
+                cache_hit: out.cache_hit,
+                entries: Some(out.program.entry_count()),
+                program_text: Some(out.program_text),
+                error: None,
+            },
+            Err(e) => PassResult {
+                time,
+                cache_hit: false,
+                entries: None,
+                program_text: None,
+                error: Some(e.to_string()),
+            },
+        }
+    })
+}
+
+fn main() {
+    let deadline = env_secs("PH_SVC_BENCH_TIMEOUT_SECS", 30);
+    let filter = std::env::var("PH_SVC_BENCH_FILTER").unwrap_or_default();
+    let jobs = jobs_from_args();
+    let device = DeviceProfile::tofino();
+
+    // Cache directory: user-chosen or a private temp dir.  Cleared up
+    // front so the first pass is cold by construction.
+    let (cache_dir, ephemeral) = match std::env::var("PH_SVC_BENCH_CACHE_DIR") {
+        Ok(d) if !d.trim().is_empty() => (std::path::PathBuf::from(d), false),
+        _ => (
+            std::env::temp_dir().join(format!("ph-svc-bench-{}", std::process::id())),
+            true,
+        ),
+    };
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let cases: Vec<_> = ph_benchmarks::registry()
+        .into_iter()
+        .filter(|c| filter.is_empty() || c.name.contains(&filter))
+        .collect();
+
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: jobs,
+        queue_cap: (cases.len() * 2).max(64),
+        cache: Some(CacheHook(Arc::new(DiskCache::new(&cache_dir)))),
+    })
+    .expect("bind daemon on loopback");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = server.shutdown_handle();
+    let daemon = std::thread::spawn(move || server.run());
+
+    println!(
+        "svc_bench: daemon on {addr}, {jobs} worker(s), cache {}",
+        cache_dir.display()
+    );
+    println!(
+        "{:<34} | {:>9} {:>9} {:>9} | {:>5} {:>9}",
+        "Program Name", "cold(s)", "warm(s)", "speedup", "hit", "identical"
+    );
+
+    let cold = run_pass(&addr, jobs, &cases, &device, deadline);
+    let warm = run_pass(&addr, jobs, &cases, &device, deadline);
+
+    let mut rows_json: Vec<Json> = Vec::new();
+    let mut speedups: Vec<(f64, bool)> = Vec::new();
+    let mut cold_hist = Histogram::new();
+    let mut warm_hist = Histogram::new();
+    let mut failures = 0usize;
+    let mut mismatches = 0usize;
+    let mut warm_misses = 0usize;
+    let mut timeouts = 0usize;
+    let mut alias_pairs = 0usize;
+
+    for (case, (c, w)) in cases.iter().zip(cold.iter().zip(&warm)) {
+        let is_timeout = |p: &PassResult| p.error.as_deref().is_some_and(|e| e.contains("timeout"));
+        let ok = c.error.is_none() && w.error.is_none();
+        // A deadline hit in both passes is the registry's known outcome for
+        // that case (nothing was cached, nothing replayed) — recorded, not
+        // failed.  A timeout in only one pass is a real divergence.
+        let timeout = is_timeout(c) && is_timeout(w);
+        let identical = match (&c.program_text, &w.program_text) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        };
+        let outcome = if timeout {
+            timeouts += 1;
+            "timeout"
+        } else if !ok {
+            failures += 1;
+            "failed"
+        } else {
+            cold_hist.record(c.time.as_micros() as u64);
+            warm_hist.record(w.time.as_micros() as u64);
+            if c.cache_hit {
+                // An earlier case in the cold pass shares this canonical
+                // key, so "cold" was already a replay: no speed-up signal.
+                alias_pairs += 1;
+            } else {
+                speedups.push((c.time.as_secs_f64() / w.time.as_secs_f64().max(1e-6), false));
+            }
+            if !identical {
+                mismatches += 1;
+            }
+            if !w.cache_hit {
+                warm_misses += 1;
+            }
+            if c.cache_hit {
+                "alias"
+            } else {
+                "ok"
+            }
+        };
+        let pass_json = |p: &PassResult| {
+            Json::obj()
+                .with("time_s", p.time.as_secs_f64())
+                .with("cache_hit", p.cache_hit)
+                .with(
+                    "entries",
+                    p.entries.map_or(Json::Null, |e| Json::Int(e as i64)),
+                )
+                .with("error", p.error.as_deref().map_or(Json::Null, Json::from))
+        };
+        rows_json.push(
+            Json::obj()
+                .with("name", case.name.as_str())
+                .with("outcome", outcome)
+                .with("cold", pass_json(c))
+                .with("warm", pass_json(w))
+                .with("identical", identical),
+        );
+        println!(
+            "{:<34} | {:>9} {:>9} {:>9} | {:>5} {:>9}",
+            case.name,
+            if c.error.is_some() {
+                "-".into()
+            } else {
+                format!("{:.3}", c.time.as_secs_f64())
+            },
+            if w.error.is_some() {
+                "-".into()
+            } else {
+                format!("{:.3}", w.time.as_secs_f64())
+            },
+            match outcome {
+                "timeout" => "timeout".into(),
+                "alias" => "alias".into(),
+                "failed" => c
+                    .error
+                    .as_deref()
+                    .or(w.error.as_deref())
+                    .unwrap_or("-")
+                    .chars()
+                    .take(9)
+                    .collect(),
+                _ => format!(
+                    "{:.1}x",
+                    c.time.as_secs_f64() / w.time.as_secs_f64().max(1e-6)
+                ),
+            },
+            if w.cache_hit { "yes" } else { "no" },
+            match outcome {
+                "timeout" => "n/a".into(),
+                _ if identical => "yes".to_string(),
+                _ => "NO".into(),
+            },
+        );
+    }
+
+    let daemon_stats = Client::connect(&addr).and_then(|mut c| c.stats()).ok();
+    handle.shutdown();
+    let drained = daemon.join().expect("daemon thread").is_ok();
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&cache_dir);
+    }
+
+    let (g, _) = geomean(&speedups);
+    println!("\nSummary:");
+    println!(
+        "  {} cases, {} failed, {} non-identical warm replays, {} warm cache misses",
+        cases.len(),
+        failures,
+        mismatches,
+        warm_misses
+    );
+    println!(
+        "  excluded from the geomean: {timeouts} timeout case(s), {alias_pairs} alias pair(s)"
+    );
+    println!(
+        "  geometric-mean warm speed-up: {g:.1}x over {} pairs",
+        speedups.len()
+    );
+    println!(
+        "  cold latency p50 {:.3}s p99 {:.3}s | warm latency p50 {:.3}s p99 {:.3}s",
+        cold_hist.p50() as f64 / 1e6,
+        cold_hist.p99() as f64 / 1e6,
+        warm_hist.p50() as f64 / 1e6,
+        warm_hist.p99() as f64 / 1e6,
+    );
+
+    let doc = report::metadata("svc_bench")
+        .with("deadline_s", deadline.as_secs())
+        .with("filter", filter.as_str())
+        .with("jobs", jobs as u64)
+        .with("rows", Json::Arr(rows_json))
+        .with(
+            "summary",
+            Json::obj()
+                .with("cases", cases.len())
+                .with("failures", failures)
+                .with("mismatches", mismatches)
+                .with("warm_misses", warm_misses)
+                .with("timeouts", timeouts)
+                .with("alias_pairs", alias_pairs)
+                .with("geomean_warm_speedup", g)
+                .with("cold_latency_us", cold_hist.summary_json())
+                .with("warm_latency_us", warm_hist.summary_json()),
+        )
+        .with("daemon", daemon_stats.unwrap_or(Json::Null))
+        .with("drained", drained);
+    match report::write_results("svc_bench", &doc) {
+        Ok(path) => println!("\nstructured results: {}", path.display()),
+        Err(e) => eprintln!("failed to write results file: {e}"),
+    }
+
+    if failures > 0 || mismatches > 0 || warm_misses > 0 || !drained {
+        std::process::exit(1);
+    }
+}

@@ -17,6 +17,11 @@
 //! `results/table3.json` (see [`ph_bench::report`]) records every run with
 //! its full per-phase timings and SAT counters.  `PH_TRACE=<path>` streams
 //! a JSON-lines trace of the underlying synthesis runs.
+//!
+//! `PH_CACHE_DIR=<dir>` enables the `ph-svc` synthesis-result cache: a
+//! second run over the same registry replays cached programs (reported
+//! `cache_hits` in the per-run stats) instead of re-synthesizing.  Leave
+//! it unset when the timing columns themselves are the measurement.
 
 use ph_bench::{
     baseline_ipu, baseline_tofino, env_secs, geomean, jobs_from_args, par_map, report,

@@ -6,7 +6,9 @@
 //! ```
 //!
 //! `--jobs N` runs up to N rows concurrently (default 1); output order is
-//! identical either way.
+//! identical either way.  `PH_CACHE_DIR=<dir>` enables the `ph-svc`
+//! synthesis-result cache (cached rows report near-zero times — leave it
+//! unset when timing is the measurement).
 
 use ph_bench::{
     baseline_dp, env_secs, jobs_from_args, par_map, report, run_parserhawk, short_failure,

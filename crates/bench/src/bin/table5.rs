@@ -7,7 +7,9 @@
 //! ```
 //!
 //! `--jobs N` runs up to N (benchmark, device, config) cells concurrently
-//! (default 1); output order is identical either way.
+//! (default 1); output order is identical either way.  `PH_CACHE_DIR=<dir>`
+//! enables the `ph-svc` synthesis-result cache (cached cells report
+//! near-zero times — leave it unset when timing is the measurement).
 
 use ph_bench::{env_secs, jobs_from_args, par_map, report, run_parserhawk};
 use ph_benchmarks::suite;

@@ -11,6 +11,11 @@
 //! * `PH_ORIG_TIMEOUT_SECS` — wall budget for the naive "Orig" encoding
 //!   (default 10; the paper used 24 h — timeouts print as `>Ns`, exactly
 //!   like the paper's `>86400` rows).
+//! * `PH_CACHE_DIR` — enables the `ph-svc` content-addressed result
+//!   cache for every ParserHawk run (`PH_CACHE_BUDGET_BYTES` bounds its
+//!   size); repeated table runs then replay cached programs instead of
+//!   re-synthesizing.  Cached rows report near-zero times — use a fresh
+//!   or no cache directory when measuring synthesis itself.
 
 pub mod diff;
 pub mod harness;
@@ -92,6 +97,7 @@ pub fn run_parserhawk_simplify(
         .with_params(SynthParams {
             timeout: Some(timeout),
             simplify,
+            cache: ph_svc::DiskCache::from_env(),
             ..Default::default()
         })
         .synthesize(spec);
@@ -124,6 +130,7 @@ pub fn run_parserhawk_portfolio(
             timeout: Some(timeout),
             portfolio_width: (width >= 2).then_some(width),
             portfolio_cores: cores,
+            cache: ph_svc::DiskCache::from_env(),
             ..Default::default()
         })
         .synthesize(spec);
@@ -163,67 +170,10 @@ fn finish_run(r: Result<ph_core::SynthOutput, SynthError>, time: Duration) -> Ru
     }
 }
 
-/// Parses `--jobs N` (or `--jobs=N`) from the process arguments; defaults
-/// to 1 (fully sequential, the deterministic path).
-pub fn jobs_from_args() -> usize {
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        let val = if a == "--jobs" {
-            args.next()
-        } else {
-            a.strip_prefix("--jobs=").map(str::to_string)
-        };
-        if let Some(v) = val {
-            match v.parse::<usize>() {
-                Ok(n) => return n.max(1),
-                Err(_) => {
-                    eprintln!("ignoring unparsable --jobs value {v:?}");
-                    return 1;
-                }
-            }
-        }
-    }
-    1
-}
-
-/// Order-preserving parallel map over a work list: up to `jobs` worker
-/// threads pull items off a shared index and results land at their item's
-/// position, so downstream printing/aggregation stays byte-identical to the
-/// sequential order.  `jobs <= 1` runs inline with no threads at all.
-pub fn par_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let n = items.len();
-    if jobs <= 1 || n <= 1 {
-        return items.iter().map(f).collect();
-    }
-    let slots: Vec<std::sync::Mutex<Option<R>>> =
-        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..jobs.min(n) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&items[i]);
-                *slots[i].lock().unwrap() = Some(r);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .unwrap()
-                .expect("every slot is filled before the scope exits")
-        })
-        .collect()
-}
+// The worker-pool primitives moved to `ph-svc` (the daemon shares them);
+// re-exported here so the table binaries and external callers keep their
+// `ph_bench::par_map` / `ph_bench::jobs_from_args` paths.
+pub use ph_svc::{jobs_from_args, par_map};
 
 /// Runs a baseline compiler closure, capturing failures as annotations.
 pub fn run_baseline<F>(f: F) -> RunResult

@@ -15,16 +15,20 @@
 //! * [`Rng`] — a self-contained deterministic SplitMix64 generator backing the
 //!   randomized tests, validation sampling and packet generators (the build
 //!   runs offline, so no external `rand` dependency).
+//! * [`Sha256`] — an in-tree FIPS 180-4 digest backing the synthesis
+//!   service's content-addressed cache keys.
 //!
 //! The semantics follow §3.2 of the ParserHawk paper: a mask bit of `1` means
 //! *care*, `0` means *wildcard*.
 
 mod bitstring;
 pub mod rng;
+pub mod sha256;
 mod ternary;
 
 pub use bitstring::BitString;
 pub use rng::Rng;
+pub use sha256::Sha256;
 pub use ternary::Ternary;
 
 /// Number of bits needed to represent values `0..=max` (at least 1).

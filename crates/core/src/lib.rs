@@ -123,6 +123,50 @@ impl OptConfig {
     }
 }
 
+/// A pluggable synthesis-result cache (implemented by `ph-svc`'s
+/// content-addressed disk store; `ph-core` only defines the hook so the
+/// dependency points outward).
+///
+/// [`Synthesizer::synthesize`] consults the cache after spec validation
+/// and before any solver work; on a miss it stores successful outputs.
+/// Implementations derive their own keys from the full
+/// `(spec, device, opts, params)` context and MUST return outputs that
+/// are byte-identical to what a fresh run would have produced for the
+/// *same* spec instance (field ids in the returned program index the
+/// querying spec's field table).
+pub trait SynthCache: Send + Sync {
+    /// Returns the cached output for this synthesis context, or `None`.
+    fn lookup(
+        &self,
+        spec: &ParserSpec,
+        device: &DeviceProfile,
+        opts: OptConfig,
+        params: &SynthParams,
+    ) -> Option<SynthOutput>;
+
+    /// Records a freshly synthesized output.  Failures are the
+    /// implementation's to swallow — a broken cache must never fail a
+    /// synthesis run that already succeeded.
+    fn store(
+        &self,
+        spec: &ParserSpec,
+        device: &DeviceProfile,
+        opts: OptConfig,
+        params: &SynthParams,
+        out: &SynthOutput,
+    );
+}
+
+/// A cloneable [`SynthCache`] handle for [`SynthParams::cache`].
+#[derive(Clone)]
+pub struct CacheHook(pub std::sync::Arc<dyn SynthCache>);
+
+impl fmt::Debug for CacheHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("CacheHook(..)")
+    }
+}
+
 /// Knobs of a synthesis run.
 #[derive(Clone, Debug)]
 pub struct SynthParams {
@@ -158,6 +202,12 @@ pub struct SynthParams {
     /// ([`fuzz::check_e2e`]).  `0` (the default) disables the gate; the
     /// Fig. 22 random check in [`validate`] always runs.
     pub e2e_samples: usize,
+    /// Synthesis-result cache.  `Some` makes [`Synthesizer::synthesize`]
+    /// consult the cache before solving and store successful outputs
+    /// after; `None` (the default) always synthesizes from scratch.
+    /// `ph-svc` provides the content-addressed disk implementation and a
+    /// `PH_CACHE_DIR` environment constructor.
+    pub cache: Option<CacheHook>,
 }
 
 impl Default for SynthParams {
@@ -173,6 +223,7 @@ impl Default for SynthParams {
             portfolio_width: None,
             portfolio_cores: None,
             e2e_samples: 0,
+            cache: None,
         }
     }
 }
@@ -254,6 +305,13 @@ pub struct SynthStats {
     pub portfolio_races: u64,
     /// Learned clauses imported back from winning portfolio workers.
     pub portfolio_clauses_imported: u64,
+    /// 1 when this output was served from the synthesis-result cache
+    /// ([`SynthParams::cache`]); the other counters then describe the
+    /// *original* run that populated the entry.
+    pub cache_hits: u64,
+    /// 1 when a configured cache was consulted and missed (0 when no
+    /// cache was configured at all).
+    pub cache_misses: u64,
     /// Per-query latency and conflict distributions.
     pub hists: RunHists,
 }
@@ -302,6 +360,8 @@ impl SynthStats {
                 "portfolio_clauses_imported",
                 self.portfolio_clauses_imported,
             )
+            .with("cache_hits", self.cache_hits)
+            .with("cache_misses", self.cache_misses)
             .with("hists", self.hists.to_json())
     }
 }
@@ -401,7 +461,20 @@ impl Synthesizer {
         let _span = tracer.span("synth.total");
         spec.validate()
             .map_err(|e| SynthError::Unsupported(e.to_string()))?;
-        if self.opts.opt7_parallel {
+        if let Some(hook) = &self.params.cache {
+            let hit = {
+                let _s = tracer.span("cache.lookup");
+                hook.0.lookup(spec, &self.device, self.opts, &self.params)
+            };
+            if let Some(mut out) = hit {
+                tracer.count("svc.cache.hit", 1);
+                out.stats.cache_hits = 1;
+                out.stats.cache_misses = 0;
+                return Ok(out);
+            }
+            tracer.count("svc.cache.miss", 1);
+        }
+        let mut result = if self.opts.opt7_parallel {
             parallel::synthesize_racing(spec, &self.device, self.opts, &self.params)
         } else {
             cegis::synthesize_one(
@@ -412,7 +485,16 @@ impl Synthesizer {
                 cegis::LoopMode::Auto,
                 None,
             )
+        };
+        if let Some(hook) = &self.params.cache {
+            if let Ok(out) = &mut result {
+                out.stats.cache_misses = 1;
+                let _s = tracer.span("cache.store");
+                hook.0
+                    .store(spec, &self.device, self.opts, &self.params, out);
+            }
         }
+        result
     }
 
     /// The device profile this synthesizer targets.

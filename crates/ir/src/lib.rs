@@ -14,9 +14,12 @@
 //!   bitstream, get back the output dictionary mapping fields to values;
 //! * [`analysis`] — the paper's *Code Analyzer*: key-bit usage (Opt1),
 //!   irrelevant fields (Opt2), constants present in the spec (Opt4),
-//!   loop-freedom (Opt7.1) and path-length bounds (the CEGIS `K`).
+//!   loop-freedom (Opt7.1) and path-length bounds (the CEGIS `K`);
+//! * [`canon`] — spec canonicalization and fingerprinting for the
+//!   synthesis service's content-addressed result cache.
 
 pub mod analysis;
+pub mod canon;
 pub mod sim;
 mod spec;
 

@@ -136,6 +136,12 @@ impl Json {
 
     /// Parses one JSON document (rejecting trailing garbage).
     ///
+    /// The parser is safe on untrusted network input: nesting deeper than
+    /// [`MAX_PARSE_DEPTH`] is rejected with an error (instead of
+    /// overflowing the stack — `value` recurses per nesting level), and
+    /// anything after the top-level value, even whitespace-separated, is
+    /// a parse error.
+    ///
     /// # Errors
     ///
     /// Returns a byte offset + message on malformed input.
@@ -143,6 +149,7 @@ impl Json {
         let mut p = Parser {
             bytes: src.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -310,9 +317,18 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Maximum container nesting [`Json::parse`] accepts.  Deep enough for
+/// every document the workspace produces (traces nest a handful of
+/// levels; specs on the service wire nest ~6), shallow enough that the
+/// recursive-descent parser cannot be driven into a stack overflow by
+/// adversarial input like `[[[[…`.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting, capped at [`MAX_PARSE_DEPTH`].
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -364,12 +380,22 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(self.err("nesting deeper than MAX_PARSE_DEPTH"));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -380,6 +406,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
@@ -389,10 +416,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(fields));
         }
         loop {
@@ -408,6 +437,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(fields));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
@@ -540,6 +570,47 @@ mod tests {
         assert!(Json::parse("[1,]").is_err());
         assert!(Json::parse("12 34").is_err());
         assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_after_top_level_value() {
+        // Network input is one value per line; anything after the value
+        // must fail, not be silently discarded.
+        assert!(Json::parse("{} {}").is_err());
+        assert!(Json::parse("{}x").is_err());
+        assert!(Json::parse("[1] [2]").is_err());
+        assert!(Json::parse("null null").is_err());
+        assert!(Json::parse("true,").is_err());
+        assert!(Json::parse("{\"a\":1}}").is_err());
+        // Trailing whitespace alone stays fine.
+        assert!(Json::parse(" {\"a\": 1} \n").is_ok());
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // Far deeper than MAX_PARSE_DEPTH; without the cap this input
+        // overflows the parser's recursion stack.
+        for (open, close) in [("[", "]"), ("{\"k\":", "}")] {
+            let deep = format!("{}0{}", open.repeat(100_000), close.repeat(100_000));
+            let err = Json::parse(&deep).unwrap_err();
+            assert!(err.msg.contains("MAX_PARSE_DEPTH"), "{err}");
+        }
+    }
+
+    #[test]
+    fn nesting_at_the_cap_parses() {
+        let depth = MAX_PARSE_DEPTH;
+        let ok = format!("{}0{}", "[".repeat(depth), "]".repeat(depth));
+        assert!(Json::parse(&ok).is_ok());
+        let too_deep = format!("{}0{}", "[".repeat(depth + 1), "]".repeat(depth + 1));
+        assert!(Json::parse(&too_deep).is_err());
+        // Siblings at high depth don't trip the cap (depth is tracked,
+        // not a cumulative container count).
+        let siblings = format!(
+            "[{0}, {0}]",
+            format!("{}0{}", "[".repeat(depth - 2), "]".repeat(depth - 2))
+        );
+        assert!(Json::parse(&siblings).is_ok());
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! `phd` — the ParserHawk synthesis daemon.
+//!
+//! ```text
+//! phd [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//! ```
+//!
+//! * `--addr` (or `PH_SVC_ADDR`) — bind address, default `127.0.0.1:9077`;
+//!   port `0` picks an ephemeral port (printed on startup).
+//! * `--workers` — synthesis worker threads, default 2.
+//! * `--queue-cap` — bounded queue capacity, default 64; submissions
+//!   beyond it are rejected explicitly.
+//! * `PH_CACHE_DIR` — enables the content-addressed result cache
+//!   (`PH_CACHE_BUDGET_BYTES` bounds its size).
+//!
+//! The daemon exits 0 after a graceful drain (SIGTERM or a `shutdown`
+//! request): it stops accepting, finishes queued and running jobs, and
+//! returns.
+
+use ph_svc::{install_sigterm_drain, Server, ServerConfig};
+
+fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            return it.next().cloned();
+        }
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ServerConfig::default();
+    if let Ok(addr) = std::env::var("PH_SVC_ADDR") {
+        if !addr.trim().is_empty() {
+            config.addr = addr;
+        }
+    }
+    if let Some(addr) = parse_flag(&args, "--addr") {
+        config.addr = addr;
+    }
+    if let Some(w) = parse_flag(&args, "--workers").and_then(|v| v.parse().ok()) {
+        config.workers = w;
+    }
+    if let Some(c) = parse_flag(&args, "--queue-cap").and_then(|v| v.parse().ok()) {
+        config.queue_cap = c;
+    }
+
+    install_sigterm_drain();
+    let server = match Server::bind(config.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("phd: bind {} failed: {e}", config.addr);
+            std::process::exit(1);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!("phd: listening on {addr}"),
+        Err(_) => println!("phd: listening on {}", config.addr),
+    }
+    println!(
+        "phd: {} workers, queue capacity {}, cache {}",
+        config.workers,
+        config.queue_cap,
+        if config.cache.is_some() {
+            "enabled"
+        } else {
+            "disabled (set PH_CACHE_DIR)"
+        }
+    );
+    match server.run() {
+        Ok(()) => {
+            println!("phd: drained");
+        }
+        Err(e) => {
+            eprintln!("phd: server error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! A blocking client for the daemon's line-delimited JSON protocol.
+
+use crate::codec::{self, CodecError};
+use crate::proto;
+use ph_core::OptConfig;
+use ph_hw::DeviceProfile;
+use ph_ir::ParserSpec;
+use ph_obs::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// What went wrong talking to the daemon.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, early close).
+    Io(std::io::Error),
+    /// The daemon answered, but with `"ok": false`.  The bool is the
+    /// response's `"rejected"` flag (queue-full backpressure).
+    Daemon {
+        /// The daemon's error message.
+        message: String,
+        /// True for explicit queue-full rejections.
+        rejected: bool,
+    },
+    /// The daemon's answer didn't decode.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Daemon { message, rejected } => {
+                write!(
+                    f,
+                    "daemon: {message}{}",
+                    if *rejected { " (rejected)" } else { "" }
+                )
+            }
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<CodecError> for ClientError {
+    fn from(e: CodecError) -> Self {
+        ClientError::Protocol(e.to_string())
+    }
+}
+
+/// A successful synthesis response.
+#[derive(Clone, Debug)]
+pub struct SubmitOutcome {
+    /// The daemon-side job id.
+    pub job: u64,
+    /// The content key the job was filed under.
+    pub key: String,
+    /// Whether this submission deduplicated onto an in-flight job.
+    pub deduped: bool,
+    /// Whether the result came from the result cache.
+    pub cache_hit: bool,
+    /// The synthesized program.
+    pub program: ph_hw::TcamProgram,
+    /// The program's display rendering, exactly as the daemon printed it
+    /// (byte-compare two of these to prove result identity).
+    pub program_text: String,
+    /// The run statistics (raw JSON; see [`codec::stats_from_json`]).
+    pub stats: Json,
+}
+
+/// A blocking connection to a daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `"127.0.0.1:9077"`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request object and reads one response line.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and unparsable responses; `"ok": false`
+    /// responses are returned as [`ClientError::Daemon`].
+    pub fn request(&mut self, req: &Json) -> Result<Json, ClientError> {
+        writeln!(self.writer, "{req}")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            )));
+        }
+        let resp = Json::parse(line.trim())
+            .map_err(|e| ClientError::Protocol(format!("bad response JSON: {e}")))?;
+        match resp.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(resp),
+            Some(false) => Err(ClientError::Daemon {
+                message: resp
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified error")
+                    .to_string(),
+                rejected: resp.get("rejected").and_then(Json::as_bool) == Some(true),
+            }),
+            None => Err(ClientError::Protocol("response missing \"ok\"".into())),
+        }
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.request(&Json::obj().with("op", "ping")).map(|_| ())
+    }
+
+    /// Submits a spec and blocks until the daemon returns the result.
+    ///
+    /// # Errors
+    ///
+    /// Queue-full rejections surface as [`ClientError::Daemon`] with
+    /// `rejected: true`; synthesis failures as `rejected: false`.
+    pub fn submit_wait(
+        &mut self,
+        spec: &ParserSpec,
+        device: &DeviceProfile,
+        opts: OptConfig,
+        deadline: Option<Duration>,
+    ) -> Result<SubmitOutcome, ClientError> {
+        let mut req = Json::obj()
+            .with("op", "submit")
+            .with("spec", codec::spec_to_json(spec))
+            .with("device", codec::device_to_json(device))
+            .with("opts", proto::opts_to_json(opts))
+            .with("wait", true);
+        if let Some(d) = deadline {
+            req.set("deadline_ms", d.as_millis().max(1) as i64);
+        }
+        let resp = self.request(&req)?;
+        let field_u64 = |k: &str| -> Result<u64, ClientError> {
+            resp.get(k)
+                .and_then(Json::as_i64)
+                .filter(|v| *v >= 0)
+                .map(|v| v as u64)
+                .ok_or_else(|| ClientError::Protocol(format!("response missing {k:?}")))
+        };
+        let program_json = resp
+            .get("program")
+            .ok_or_else(|| ClientError::Protocol("response missing \"program\"".into()))?;
+        Ok(SubmitOutcome {
+            job: field_u64("job")?,
+            key: resp
+                .get("key")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            deduped: resp.get("deduped").and_then(Json::as_bool) == Some(true),
+            cache_hit: resp.get("cache_hit").and_then(Json::as_bool) == Some(true),
+            program: codec::program_from_json(program_json)?,
+            program_text: resp
+                .get("program_text")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            stats: resp.get("stats").cloned().unwrap_or(Json::Null),
+        })
+    }
+
+    /// Fetches the daemon's counters.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        self.request(&Json::obj().with("op", "stats"))
+    }
+
+    /// Asks the daemon to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.request(&Json::obj().with("op", "shutdown"))
+            .map(|_| ())
+    }
+}

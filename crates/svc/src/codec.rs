@@ -1,0 +1,624 @@
+//! JSON codecs for the service's wire protocol and on-disk cache entries.
+//!
+//! The workspace has no serde; these functions translate the IR, hardware
+//! program and statistics types to and from [`ph_obs::Json`] by hand.  Every
+//! `*_from_json` is total over arbitrary JSON input — malformed documents
+//! yield a [`CodecError`], never a panic — because both the daemon (network
+//! input) and the cache (disk input that may be truncated or bit-flipped)
+//! decode untrusted bytes.
+//!
+//! Conventions:
+//!
+//! * ternary patterns are their display strings (`"1**0"`, `""` for a
+//!   zero-width always-match pattern);
+//! * state/field references are table indices (specs and programs are
+//!   positional; names are carried alongside for display only);
+//! * next-state targets are the string `"accept"`/`"reject"` or an integer
+//!   state index.
+
+use ph_core::SynthStats;
+use ph_hw::{Arch, DeviceProfile, HwEntry, HwNext, HwState, HwStateId, TcamProgram};
+use ph_ir::{
+    Field, FieldId, FieldKind, KeyPart, NextState, ParserSpec, State, StateId, Transition, VarLen,
+};
+use ph_obs::Json;
+use ph_sat::SolverStats;
+use std::fmt;
+use std::time::Duration;
+
+/// A decoding failure: which path failed and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "codec: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CodecError> {
+    Err(CodecError(msg.into()))
+}
+
+fn get<'a>(j: &'a Json, key: &str) -> Result<&'a Json, CodecError> {
+    match j.get(key) {
+        Some(v) => Ok(v),
+        None => err(format!("missing field {key:?}")),
+    }
+}
+
+fn get_usize(j: &Json, key: &str) -> Result<usize, CodecError> {
+    match get(j, key)?.as_i64() {
+        Some(v) if v >= 0 => Ok(v as usize),
+        _ => err(format!("field {key:?} is not a non-negative integer")),
+    }
+}
+
+fn get_u64(j: &Json, key: &str) -> Result<u64, CodecError> {
+    match get(j, key)?.as_i64() {
+        Some(v) if v >= 0 => Ok(v as u64),
+        _ => err(format!("field {key:?} is not a non-negative integer")),
+    }
+}
+
+fn get_i64(j: &Json, key: &str) -> Result<i64, CodecError> {
+    match get(j, key)?.as_i64() {
+        Some(v) => Ok(v),
+        None => err(format!("field {key:?} is not an integer")),
+    }
+}
+
+fn get_f64(j: &Json, key: &str) -> Result<f64, CodecError> {
+    match get(j, key)?.as_f64() {
+        Some(v) => Ok(v),
+        None => err(format!("field {key:?} is not a number")),
+    }
+}
+
+fn get_str<'a>(j: &'a Json, key: &str) -> Result<&'a str, CodecError> {
+    match get(j, key)?.as_str() {
+        Some(s) => Ok(s),
+        None => err(format!("field {key:?} is not a string")),
+    }
+}
+
+fn get_arr<'a>(j: &'a Json, key: &str) -> Result<&'a [Json], CodecError> {
+    match get(j, key)?.as_arr() {
+        Some(a) => Ok(a),
+        None => err(format!("field {key:?} is not an array")),
+    }
+}
+
+fn ternary_from_str(s: &str) -> Result<ph_bits::Ternary, CodecError> {
+    match ph_bits::Ternary::parse(s) {
+        Some(t) => Ok(t),
+        None => err(format!("bad ternary pattern {s:?}")),
+    }
+}
+
+fn index_array(items: &[Json], what: &str) -> Result<Vec<usize>, CodecError> {
+    items
+        .iter()
+        .map(|v| match v.as_i64() {
+            Some(i) if i >= 0 => Ok(i as usize),
+            _ => err(format!("{what}: expected a non-negative integer index")),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Next-state targets (shared by specs and programs).
+// ---------------------------------------------------------------------------
+
+fn spec_next_to_json(n: NextState) -> Json {
+    match n {
+        NextState::State(s) => Json::Int(s.0 as i64),
+        NextState::Accept => Json::Str("accept".into()),
+        NextState::Reject => Json::Str("reject".into()),
+    }
+}
+
+fn spec_next_from_json(j: &Json) -> Result<NextState, CodecError> {
+    match j {
+        Json::Str(s) if s == "accept" => Ok(NextState::Accept),
+        Json::Str(s) if s == "reject" => Ok(NextState::Reject),
+        _ => match j.as_i64() {
+            Some(i) if i >= 0 => Ok(NextState::State(StateId(i as usize))),
+            _ => err("next: expected \"accept\", \"reject\" or a state index"),
+        },
+    }
+}
+
+fn hw_next_to_json(n: HwNext) -> Json {
+    match n {
+        HwNext::State(s) => Json::Int(s.0 as i64),
+        HwNext::Accept => Json::Str("accept".into()),
+        HwNext::Reject => Json::Str("reject".into()),
+    }
+}
+
+fn hw_next_from_json(j: &Json) -> Result<HwNext, CodecError> {
+    match j {
+        Json::Str(s) if s == "accept" => Ok(HwNext::Accept),
+        Json::Str(s) if s == "reject" => Ok(HwNext::Reject),
+        _ => match j.as_i64() {
+            Some(i) if i >= 0 => Ok(HwNext::State(HwStateId(i as usize))),
+            _ => err("next: expected \"accept\", \"reject\" or a state index"),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Key parts (shared by specs and programs).
+// ---------------------------------------------------------------------------
+
+fn key_part_to_json(kp: &KeyPart) -> Json {
+    match *kp {
+        KeyPart::Slice { field, start, end } => Json::obj()
+            .with("field", field.0 as i64)
+            .with("start", start as i64)
+            .with("end", end as i64),
+        KeyPart::Lookahead { start, end } => Json::obj()
+            .with("lookahead", true)
+            .with("start", start as i64)
+            .with("end", end as i64),
+    }
+}
+
+fn key_part_from_json(j: &Json) -> Result<KeyPart, CodecError> {
+    let start = get_usize(j, "start")?;
+    let end = get_usize(j, "end")?;
+    if j.get("lookahead").and_then(Json::as_bool) == Some(true) {
+        Ok(KeyPart::Lookahead { start, end })
+    } else {
+        Ok(KeyPart::Slice {
+            field: FieldId(get_usize(j, "field")?),
+            start,
+            end,
+        })
+    }
+}
+
+fn key_to_json(key: &[KeyPart]) -> Json {
+    Json::Arr(key.iter().map(key_part_to_json).collect())
+}
+
+fn key_from_json(j: &Json, key: &str) -> Result<Vec<KeyPart>, CodecError> {
+    get_arr(j, key)?.iter().map(key_part_from_json).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Parser specifications.
+// ---------------------------------------------------------------------------
+
+/// A [`ParserSpec`] as a JSON document.
+pub fn spec_to_json(spec: &ParserSpec) -> Json {
+    let mut fields = Json::arr();
+    for f in &spec.fields {
+        let mut o = Json::obj()
+            .with("name", f.name.as_str())
+            .with("width", f.width as i64);
+        if let FieldKind::Var(v) = &f.kind {
+            o.set(
+                "var",
+                Json::obj()
+                    .with("control", v.control.0 as i64)
+                    .with("multiplier", v.multiplier)
+                    .with("offset", v.offset),
+            );
+        }
+        fields.push(o);
+    }
+    let mut states = Json::arr();
+    for s in &spec.states {
+        let mut transitions = Json::arr();
+        for t in &s.transitions {
+            transitions.push(
+                Json::obj()
+                    .with("pattern", t.pattern.to_string())
+                    .with("next", spec_next_to_json(t.next)),
+            );
+        }
+        states.push(
+            Json::obj()
+                .with("name", s.name.as_str())
+                .with(
+                    "extracts",
+                    Json::Arr(s.extracts.iter().map(|f| Json::Int(f.0 as i64)).collect()),
+                )
+                .with("key", key_to_json(&s.key))
+                .with("transitions", transitions)
+                .with("default", spec_next_to_json(s.default)),
+        );
+    }
+    Json::obj()
+        .with("fields", fields)
+        .with("states", states)
+        .with("start", spec.start.0 as i64)
+}
+
+/// Decodes a [`ParserSpec`]; the caller should still run
+/// [`ParserSpec::validate`] (the codec checks shape, not cross-references).
+pub fn spec_from_json(j: &Json) -> Result<ParserSpec, CodecError> {
+    let mut fields = Vec::new();
+    for f in get_arr(j, "fields")? {
+        let kind = match f.get("var") {
+            Some(v) => FieldKind::Var(VarLen {
+                control: FieldId(get_usize(v, "control")?),
+                multiplier: get_i64(v, "multiplier")?,
+                offset: get_i64(v, "offset")?,
+            }),
+            None => FieldKind::Fixed,
+        };
+        fields.push(Field {
+            name: get_str(f, "name")?.to_string(),
+            width: get_usize(f, "width")?,
+            kind,
+        });
+    }
+    let mut states = Vec::new();
+    for s in get_arr(j, "states")? {
+        let mut transitions = Vec::new();
+        for t in get_arr(s, "transitions")? {
+            transitions.push(Transition {
+                pattern: ternary_from_str(get_str(t, "pattern")?)?,
+                next: spec_next_from_json(get(t, "next")?)?,
+            });
+        }
+        states.push(State {
+            name: get_str(s, "name")?.to_string(),
+            extracts: index_array(get_arr(s, "extracts")?, "extracts")?
+                .into_iter()
+                .map(FieldId)
+                .collect(),
+            key: key_from_json(s, "key")?,
+            transitions,
+            default: spec_next_from_json(get(s, "default")?)?,
+        });
+    }
+    Ok(ParserSpec {
+        fields,
+        states,
+        start: StateId(get_usize(j, "start")?),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Device profiles.
+// ---------------------------------------------------------------------------
+
+fn arch_name(a: Arch) -> &'static str {
+    match a {
+        Arch::SingleTable => "single_table",
+        Arch::Pipelined => "pipelined",
+        Arch::Interleaved => "interleaved",
+    }
+}
+
+fn arch_from_name(s: &str) -> Result<Arch, CodecError> {
+    match s {
+        "single_table" => Ok(Arch::SingleTable),
+        "pipelined" => Ok(Arch::Pipelined),
+        "interleaved" => Ok(Arch::Interleaved),
+        other => err(format!("unknown arch {other:?}")),
+    }
+}
+
+/// A [`DeviceProfile`] as a JSON document.
+pub fn device_to_json(d: &DeviceProfile) -> Json {
+    Json::obj()
+        .with("name", d.name.as_str())
+        .with("arch", arch_name(d.arch))
+        .with("key_limit", d.key_limit as i64)
+        .with("tcam_limit", d.tcam_limit as i64)
+        .with("lookahead_limit", d.lookahead_limit as i64)
+        .with("extraction_limit", d.extraction_limit as i64)
+        .with("stage_limit", d.stage_limit as i64)
+}
+
+/// Decodes a [`DeviceProfile`].
+pub fn device_from_json(j: &Json) -> Result<DeviceProfile, CodecError> {
+    Ok(DeviceProfile {
+        name: get_str(j, "name")?.to_string(),
+        arch: arch_from_name(get_str(j, "arch")?)?,
+        key_limit: get_usize(j, "key_limit")?,
+        tcam_limit: get_usize(j, "tcam_limit")?,
+        lookahead_limit: get_usize(j, "lookahead_limit")?,
+        extraction_limit: get_usize(j, "extraction_limit")?,
+        stage_limit: get_usize(j, "stage_limit")?,
+    })
+}
+
+/// Resolves a device by canned name, accepting the three paper profiles.
+pub fn device_by_name(name: &str) -> Option<DeviceProfile> {
+    match name {
+        "tofino" => Some(DeviceProfile::tofino()),
+        "ipu" => Some(DeviceProfile::ipu()),
+        "trident" => Some(DeviceProfile::trident()),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCAM programs.
+// ---------------------------------------------------------------------------
+
+/// A [`TcamProgram`] as a JSON document.
+pub fn program_to_json(p: &TcamProgram) -> Json {
+    let mut states = Json::arr();
+    for s in &p.states {
+        let mut entries = Json::arr();
+        for e in &s.entries {
+            entries.push(
+                Json::obj()
+                    .with("pattern", e.pattern.to_string())
+                    .with(
+                        "extracts",
+                        Json::Arr(e.extracts.iter().map(|f| Json::Int(f.0 as i64)).collect()),
+                    )
+                    .with("next", hw_next_to_json(e.next)),
+            );
+        }
+        states.push(
+            Json::obj()
+                .with("name", s.name.as_str())
+                .with("stage", s.stage as i64)
+                .with("key", key_to_json(&s.key))
+                .with("entries", entries),
+        );
+    }
+    Json::obj()
+        .with("device", device_to_json(&p.device))
+        .with("states", states)
+        .with("start", p.start.0 as i64)
+}
+
+/// Decodes a [`TcamProgram`].
+pub fn program_from_json(j: &Json) -> Result<TcamProgram, CodecError> {
+    let device = device_from_json(get(j, "device")?)?;
+    let mut states = Vec::new();
+    for s in get_arr(j, "states")? {
+        let mut entries = Vec::new();
+        for e in get_arr(s, "entries")? {
+            entries.push(HwEntry {
+                pattern: ternary_from_str(get_str(e, "pattern")?)?,
+                extracts: index_array(get_arr(e, "extracts")?, "extracts")?
+                    .into_iter()
+                    .map(FieldId)
+                    .collect(),
+                next: hw_next_from_json(get(e, "next")?)?,
+            });
+        }
+        states.push(HwState {
+            name: get_str(s, "name")?.to_string(),
+            stage: get_usize(s, "stage")?,
+            key: key_from_json(s, "key")?,
+            entries,
+        });
+    }
+    let start = get_usize(j, "start")?;
+    if start >= states.len() {
+        return err(format!("start state {start} out of range"));
+    }
+    Ok(TcamProgram {
+        device,
+        states,
+        start: HwStateId(start),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Synthesis statistics.
+// ---------------------------------------------------------------------------
+
+fn solver_stats_from_json(j: &Json) -> Result<SolverStats, CodecError> {
+    Ok(SolverStats {
+        conflicts: get_u64(j, "conflicts")?,
+        decisions: get_u64(j, "decisions")?,
+        propagations: get_u64(j, "propagations")?,
+        restarts: get_u64(j, "restarts")?,
+        learnts: get_u64(j, "learnts")?,
+        clauses_added: get_u64(j, "clauses_added")?,
+        eliminated_vars: get_u64(j, "eliminated_vars")?,
+        subsumed_clauses: get_u64(j, "subsumed_clauses")?,
+        strengthened_clauses: get_u64(j, "strengthened_clauses")?,
+        failed_literals: get_u64(j, "failed_literals")?,
+        simplify_time_ns: get_u64(j, "simplify_time_ns")?,
+        portfolio_solves: get_u64(j, "portfolio_solves")?,
+        portfolio_imported: get_u64(j, "portfolio_imported")?,
+    })
+}
+
+/// Decodes the scalar portion of [`SynthStats::to_json`].
+///
+/// The latency histograms (`hists`) summarize a live run and are not
+/// reconstructible from their summary form; decoded stats carry empty
+/// histograms.  Cache entries therefore preserve the original run's
+/// counters and times but not its latency distribution.
+pub fn stats_from_json(j: &Json) -> Result<SynthStats, CodecError> {
+    Ok(SynthStats {
+        search_space_bits: get_usize(j, "search_space_bits")?,
+        cegis_iterations: get_usize(j, "cegis_iterations")?,
+        test_cases: get_usize(j, "test_cases")?,
+        counterexamples: get_usize(j, "counterexamples")?,
+        budget_levels: get_usize(j, "budget_levels")?,
+        verify_solver_builds: get_usize(j, "verify_solver_builds")?,
+        verify_checks: get_usize(j, "verify_checks")?,
+        shrink_trials: get_usize(j, "shrink_trials")?,
+        shrink_accepted: get_usize(j, "shrink_accepted")?,
+        synth_time: Duration::from_secs_f64(get_f64(j, "synth_time_s")?.max(0.0)),
+        verify_time: Duration::from_secs_f64(get_f64(j, "verify_time_s")?.max(0.0)),
+        shrink_time: Duration::from_secs_f64(get_f64(j, "shrink_time_s")?.max(0.0)),
+        wall: Duration::from_secs_f64(get_f64(j, "wall_s")?.max(0.0)),
+        synth_sat: solver_stats_from_json(get(j, "synth_sat")?)?,
+        verify_sat: solver_stats_from_json(get(j, "verify_sat")?)?,
+        max_verify_conflicts: get_u64(j, "max_verify_conflicts")?,
+        portfolio_races: get_u64(j, "portfolio_races")?,
+        portfolio_clauses_imported: get_u64(j, "portfolio_clauses_imported")?,
+        cache_hits: get_u64(j, "cache_hits").unwrap_or(0),
+        cache_misses: get_u64(j, "cache_misses").unwrap_or(0),
+        hists: Default::default(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ph_bits::Ternary;
+    use ph_ir::Field;
+
+    fn sample_spec() -> ParserSpec {
+        ParserSpec {
+            fields: vec![
+                Field::fixed("eth.type", 16),
+                Field {
+                    name: "opts".into(),
+                    width: 320,
+                    kind: FieldKind::Var(VarLen {
+                        control: FieldId(0),
+                        multiplier: 32,
+                        offset: -160,
+                    }),
+                },
+            ],
+            states: vec![
+                State {
+                    name: "start".into(),
+                    extracts: vec![FieldId(0)],
+                    key: vec![
+                        KeyPart::Slice {
+                            field: FieldId(0),
+                            start: 0,
+                            end: 4,
+                        },
+                        KeyPart::Lookahead { start: 0, end: 2 },
+                    ],
+                    transitions: vec![Transition {
+                        pattern: Ternary::parse("01**1*").unwrap(),
+                        next: NextState::State(StateId(1)),
+                    }],
+                    default: NextState::Reject,
+                },
+                State {
+                    name: "tail".into(),
+                    extracts: vec![FieldId(1)],
+                    key: vec![],
+                    transitions: vec![],
+                    default: NextState::Accept,
+                },
+            ],
+            start: StateId(0),
+        }
+    }
+
+    #[test]
+    fn spec_round_trips() {
+        let spec = sample_spec();
+        assert_eq!(spec.validate(), Ok(()));
+        let j = spec_to_json(&spec);
+        let text = j.to_pretty();
+        let back = spec_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn device_round_trips() {
+        for d in [
+            DeviceProfile::tofino(),
+            DeviceProfile::ipu(),
+            DeviceProfile::trident(),
+            DeviceProfile::parameterized(4, 2, 10),
+        ] {
+            let j = device_to_json(&d);
+            let back = device_from_json(&Json::parse(&j.to_pretty()).unwrap()).unwrap();
+            assert_eq!(back, d);
+        }
+    }
+
+    #[test]
+    fn program_round_trips() {
+        let p = TcamProgram {
+            device: DeviceProfile::trident(),
+            states: vec![
+                HwState {
+                    name: "slot0".into(),
+                    stage: 0,
+                    key: vec![],
+                    entries: vec![HwEntry {
+                        pattern: Ternary::any(0),
+                        extracts: vec![FieldId(0)],
+                        next: HwNext::State(HwStateId(1)),
+                    }],
+                },
+                HwState {
+                    name: "slot1".into(),
+                    stage: 1,
+                    key: vec![KeyPart::Slice {
+                        field: FieldId(0),
+                        start: 0,
+                        end: 3,
+                    }],
+                    entries: vec![
+                        HwEntry {
+                            pattern: Ternary::parse("1*0").unwrap(),
+                            extracts: vec![FieldId(1), FieldId(2)],
+                            next: HwNext::Accept,
+                        },
+                        HwEntry::catch_all(3, HwNext::Reject),
+                    ],
+                },
+            ],
+            start: HwStateId(0),
+        };
+        let text = program_to_json(&p).to_pretty();
+        let back = program_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn stats_scalars_round_trip() {
+        let mut s = SynthStats {
+            search_space_bits: 123,
+            cegis_iterations: 7,
+            test_cases: 20,
+            counterexamples: 13,
+            wall: Duration::from_millis(4567),
+            max_verify_conflicts: 99,
+            cache_hits: 0,
+            cache_misses: 1,
+            ..Default::default()
+        };
+        s.synth_sat.conflicts = 1000;
+        s.verify_sat.propagations = 31337;
+        let back = stats_from_json(&Json::parse(&s.to_json().to_pretty()).unwrap()).unwrap();
+        assert_eq!(back.search_space_bits, 123);
+        assert_eq!(back.cegis_iterations, 7);
+        assert_eq!(back.counterexamples, 13);
+        assert_eq!(back.wall, Duration::from_millis(4567));
+        assert_eq!(back.synth_sat.conflicts, 1000);
+        assert_eq!(back.verify_sat.propagations, 31337);
+        assert_eq!(back.max_verify_conflicts, 99);
+        assert_eq!(back.cache_misses, 1);
+    }
+
+    #[test]
+    fn malformed_documents_error_without_panicking() {
+        for text in [
+            "{}",
+            "[]",
+            "null",
+            r#"{"fields": 3, "states": [], "start": 0}"#,
+            r#"{"fields": [], "states": [{"name":"s"}], "start": 0}"#,
+            r#"{"fields": [{"name":"f","width":-4}], "states": [], "start": 0}"#,
+        ] {
+            let j = Json::parse(text).unwrap();
+            assert!(spec_from_json(&j).is_err(), "accepted {text}");
+        }
+        let j = Json::parse(r#"{"device": {}, "states": [], "start": 0}"#).unwrap();
+        assert!(program_from_json(&j).is_err());
+        assert!(stats_from_json(&Json::parse("{}").unwrap()).is_err());
+        assert!(device_from_json(&Json::parse(r#"{"name":"x","arch":"weird"}"#).unwrap()).is_err());
+    }
+}

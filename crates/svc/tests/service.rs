@@ -1,0 +1,285 @@
+//! End-to-end daemon tests over real loopback TCP: cache replay through
+//! the service, deterministic single-flight dedup, queue-full
+//! backpressure, and graceful drain.
+
+use ph_core::{CacheHook, OptConfig, SynthCache, SynthOutput, SynthParams};
+use ph_hw::DeviceProfile;
+use ph_ir::ParserSpec;
+use ph_obs::Json;
+use ph_svc::{Client, ClientError, DiskCache, Server, ServerConfig, ShutdownHandle};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "ph-svc-e2e-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// A 4-bit one-state parser; `accept_on` varies the select constant so
+/// tests can mint distinct content keys on demand.
+fn tiny_spec(accept_on: u8) -> ParserSpec {
+    ph_p4f::parse_parser(&format!(
+        r#"
+        header h_t {{ v : 4; }}
+        parser {{
+            state start {{
+                extract(h_t);
+                transition select(h_t.v) {{ {accept_on} : accept; default : reject; }}
+            }}
+        }}
+        "#,
+    ))
+    .unwrap()
+}
+
+/// Binds a daemon on an ephemeral loopback port and runs it on its own
+/// thread; returns the address, the drain trigger and the join handle.
+fn start(
+    config: ServerConfig,
+) -> (
+    String,
+    ShutdownHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..config
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run());
+    (addr, handle, join)
+}
+
+#[test]
+fn second_submit_replays_from_cache_byte_identically() {
+    let dir = tmp_dir("replay");
+    let (addr, handle, join) = start(ServerConfig {
+        workers: 2,
+        queue_cap: 8,
+        cache: Some(CacheHook(Arc::new(DiskCache::new(&dir)))),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&addr).unwrap();
+    client.ping().unwrap();
+    let spec = tiny_spec(7);
+    let dev = DeviceProfile::tofino();
+    let cold = client
+        .submit_wait(&spec, &dev, OptConfig::all(), Some(Duration::from_secs(30)))
+        .unwrap();
+    assert!(!cold.cache_hit);
+    let warm = client
+        .submit_wait(&spec, &dev, OptConfig::all(), Some(Duration::from_secs(30)))
+        .unwrap();
+    assert!(warm.cache_hit, "second submission must replay");
+    assert!(!warm.deduped, "sequential submissions never dedup");
+    assert_eq!(warm.key, cold.key);
+    assert_eq!(warm.program, cold.program);
+    assert_eq!(
+        warm.program_text, cold.program_text,
+        "cache replay must be byte-identical"
+    );
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("cache_hits").and_then(Json::as_i64), Some(1));
+    assert_eq!(stats.get("cache_misses").and_then(Json::as_i64), Some(1));
+    handle.shutdown();
+    assert!(join.join().unwrap().is_ok());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A cache whose lookup parks the worker until the test releases it —
+/// turning "N identical submissions while one is in flight" into a
+/// deterministic schedule instead of a timing race.
+struct GateCache {
+    entered: Barrier,
+    release: Barrier,
+    lookups: AtomicUsize,
+    stores: AtomicUsize,
+}
+
+impl SynthCache for GateCache {
+    fn lookup(
+        &self,
+        _spec: &ParserSpec,
+        _device: &DeviceProfile,
+        _opts: OptConfig,
+        _params: &SynthParams,
+    ) -> Option<SynthOutput> {
+        self.lookups.fetch_add(1, Ordering::SeqCst);
+        self.entered.wait();
+        self.release.wait();
+        None
+    }
+
+    fn store(
+        &self,
+        _spec: &ParserSpec,
+        _device: &DeviceProfile,
+        _opts: OptConfig,
+        _params: &SynthParams,
+        _out: &SynthOutput,
+    ) {
+        self.stores.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+#[test]
+fn identical_concurrent_submissions_synthesize_exactly_once() {
+    const DUPES: usize = 4;
+    let gate = Arc::new(GateCache {
+        entered: Barrier::new(2),
+        release: Barrier::new(2),
+        lookups: AtomicUsize::new(0),
+        stores: AtomicUsize::new(0),
+    });
+    let (addr, handle, join) = start(ServerConfig {
+        workers: 1,
+        queue_cap: 8,
+        cache: Some(CacheHook(gate.clone())),
+        ..ServerConfig::default()
+    });
+    let spec = tiny_spec(7);
+    let mut client = Client::connect(&addr).unwrap();
+
+    let submit_nowait = |client: &mut Client| -> Json {
+        let req = Json::obj()
+            .with("op", "submit")
+            .with("spec", ph_svc::codec::spec_to_json(&spec))
+            .with("device", "tofino")
+            .with("wait", false);
+        client.request(&req).unwrap()
+    };
+
+    // Primary: enqueued, then the worker parks inside the cache lookup.
+    let primary = submit_nowait(&mut client);
+    assert_eq!(primary.get("deduped").and_then(Json::as_bool), Some(false));
+    gate.entered.wait(); // the worker is now provably mid-synthesis
+
+    // Identical submissions while it runs: all become followers.
+    let mut follower_jobs = Vec::new();
+    for _ in 0..DUPES {
+        let resp = submit_nowait(&mut client);
+        assert_eq!(
+            resp.get("deduped").and_then(Json::as_bool),
+            Some(true),
+            "in-flight duplicate must dedup, got {resp}"
+        );
+        follower_jobs.push(resp.get("job").and_then(Json::as_i64).unwrap());
+    }
+
+    gate.release.wait(); // let the one synthesis proceed
+
+    // Every follower receives the primary's result.
+    for job in follower_jobs {
+        let result = loop {
+            match client.request(&Json::obj().with("op", "result").with("job", job)) {
+                Ok(r) => break r,
+                Err(ClientError::Daemon { message, .. }) if message.contains("not finished") => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => panic!("result op failed: {e}"),
+            }
+        };
+        assert_eq!(result.get("status").and_then(Json::as_str), Some("done"));
+        assert!(result.get("program").is_some());
+    }
+
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.get("dedup_hits").and_then(Json::as_i64),
+        Some(DUPES as i64)
+    );
+    assert_eq!(stats.get("completed").and_then(Json::as_i64), Some(1));
+    assert_eq!(gate.lookups.load(Ordering::SeqCst), 1, "one lookup");
+    assert_eq!(
+        gate.stores.load(Ordering::SeqCst),
+        1,
+        "one synthesis stored"
+    );
+
+    handle.shutdown();
+    assert!(join.join().unwrap().is_ok());
+}
+
+#[test]
+fn full_queue_rejects_explicitly_instead_of_hanging() {
+    let gate = Arc::new(GateCache {
+        entered: Barrier::new(2),
+        release: Barrier::new(2),
+        lookups: AtomicUsize::new(0),
+        stores: AtomicUsize::new(0),
+    });
+    let (addr, handle, join) = start(ServerConfig {
+        workers: 1,
+        queue_cap: 1,
+        cache: Some(CacheHook(gate.clone())),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&addr).unwrap();
+    let submit_nowait = |client: &mut Client, accept_on: u8| {
+        let req = Json::obj()
+            .with("op", "submit")
+            .with("spec", ph_svc::codec::spec_to_json(&tiny_spec(accept_on)))
+            .with("device", "tofino")
+            .with("wait", false);
+        client.request(&req)
+    };
+
+    // Job 1 occupies the single worker (parked in the gated lookup);
+    // job 2 (a *different* spec, so no dedup) fills the 1-slot queue.
+    submit_nowait(&mut client, 1).unwrap();
+    gate.entered.wait();
+    submit_nowait(&mut client, 2).unwrap();
+
+    // Job 3 must be rejected immediately and explicitly.
+    let err = submit_nowait(&mut client, 3).unwrap_err();
+    match err {
+        ClientError::Daemon { rejected, .. } => {
+            assert!(rejected, "queue-full must set the rejected flag");
+        }
+        other => panic!("expected a daemon rejection, got {other}"),
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("rejected_full").and_then(Json::as_i64), Some(1));
+
+    // Unblock both queued jobs (the gate is hit once per synthesis).
+    gate.release.wait();
+    gate.entered.wait();
+    gate.release.wait();
+
+    handle.shutdown();
+    assert!(join.join().unwrap().is_ok());
+}
+
+#[test]
+fn drain_finishes_queued_work_and_refuses_new_submissions() {
+    let dir = tmp_dir("drain");
+    let (addr, handle, join) = start(ServerConfig {
+        workers: 1,
+        queue_cap: 8,
+        cache: Some(CacheHook(Arc::new(DiskCache::new(&dir)))),
+        ..ServerConfig::default()
+    });
+    let spec = tiny_spec(9);
+    let dev = DeviceProfile::tofino();
+    let mut client = Client::connect(&addr).unwrap();
+    let out = client
+        .submit_wait(&spec, &dev, OptConfig::all(), Some(Duration::from_secs(30)))
+        .unwrap();
+    assert!(out.program.entry_count() > 0);
+
+    handle.shutdown();
+    assert!(join.join().unwrap().is_ok(), "drain must exit cleanly");
+
+    // The listener is gone: new connections fail outright.
+    assert!(Client::connect(&addr).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}

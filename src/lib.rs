@@ -24,6 +24,9 @@
 //! * [`benchmarks`] — the paper's benchmark suite and rewrite rules.
 //! * [`obs`] — structured tracing and metrics for the synthesis pipeline
 //!   (spans, counters, JSON-lines traces; see `PH_TRACE`).
+//! * [`svc`] — the synthesis service: a content-addressed on-disk result
+//!   cache (`PH_CACHE_DIR`) and the `phd` JSON-over-TCP daemon with
+//!   single-flight dedup and bounded-queue backpressure.
 //!
 //! ## Quickstart
 //!
@@ -67,3 +70,4 @@ pub use ph_obs as obs;
 pub use ph_p4f as p4f;
 pub use ph_sat as sat;
 pub use ph_smt as smt;
+pub use ph_svc as svc;
