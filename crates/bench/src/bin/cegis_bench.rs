@@ -1,0 +1,210 @@
+//! Measures batched CEGIS: the Table 3 workload run three times — batch
+//! width 1 (the sequential loop), 2 and 4 — on otherwise identical
+//! synthesizers, with Opt7 racing and the SAT portfolio disabled so the
+//! measured parallelism is candidate batching alone.  Widths are forced
+//! through `SynthParams::batch_width`, piercing the single-core clamp, so
+//! the harvest/verify machinery is exercised even on small runners.
+//!
+//! ```text
+//! cargo run -p ph-bench --release --bin cegis_bench
+//! ```
+//!
+//! Environment knobs:
+//!
+//! * `PH_CEGIS_BENCH_TIMEOUT_SECS` — per-run wall budget (default 30).
+//! * `PH_CEGIS_BENCH_FILTER` — restrict cases by name substring (CI smoke
+//!   uses this to run a single small case).
+//!
+//! Refuses to run under `PH_BATCH` — the global override would force every
+//! leg to the same width and report a bogus 1.0x.
+//!
+//! Besides the stdout table, a machine-readable `results/cegis_bench.json`
+//! (see [`ph_bench::report`]) records all three runs per case with their
+//! full stats payloads — including the `batch_rounds` / `batch_candidates`
+//! / `batch_cex_harvested` / `cex_dup_dropped` counters — plus per-width
+//! `cegis_iterations` (synth solver calls) and geometric-mean summaries of
+//! both the wall-time speed-up and the synth-call reduction.
+//! `check_schema` validates the shape.
+
+use ph_bench::{env_secs, geomean, report, run_parserhawk_batch, RunResult};
+use ph_hw::DeviceProfile;
+use ph_obs::{Json, Level};
+
+/// Synth solver calls of one run (full `check_assuming` rounds; harvest
+/// re-checks ride inside a round and are tracked by `batch_candidates`).
+fn synth_calls(r: &RunResult) -> Option<u64> {
+    r.stats.as_ref().map(|s| s.cegis_iterations as u64)
+}
+
+fn main() {
+    if std::env::var_os("PH_BATCH").is_some() {
+        eprintln!("cegis_bench: unset PH_BATCH to measure batched CEGIS");
+        std::process::exit(2);
+    }
+    let budget = env_secs("PH_CEGIS_BENCH_TIMEOUT_SECS", 30);
+    let filter = std::env::var("PH_CEGIS_BENCH_FILTER").unwrap_or_default();
+    let detected_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let tracer = ph_obs::current();
+
+    println!("CEGIS batch bench: width 1 vs. 2 vs. 4 (Table 3 workload)");
+    println!(
+        "per-run timeout {}s, detected cores {detected_cores} (widths are forced — the\n\
+         single-core clamp is pierced so the batch machinery always runs)\n",
+        budget.as_secs()
+    );
+    println!(
+        "{:<34} {:<7} | {:>8} {:>8} {:>8} | {:>8} {:>8} | {:>5} {:>5} {:>5}",
+        "Program Name",
+        "Device",
+        "w1(s)",
+        "w2(s)",
+        "w4(s)",
+        "sp(w2)",
+        "sp(w4)",
+        "it1",
+        "it2",
+        "it4"
+    );
+
+    let mut speedups_w2: Vec<(f64, bool)> = Vec::new();
+    let mut speedups_w4: Vec<(f64, bool)> = Vec::new();
+    let mut calls_w2: Vec<(f64, bool)> = Vec::new();
+    let mut calls_w4: Vec<(f64, bool)> = Vec::new();
+    let mut unmeasured = 0usize;
+    let mut rows_json: Vec<Json> = Vec::new();
+    let devices = [
+        ("tofino", DeviceProfile::tofino()),
+        ("ipu", DeviceProfile::ipu()),
+    ];
+
+    for case in ph_benchmarks::registry() {
+        if !filter.is_empty() && !case.name.contains(&filter) {
+            continue;
+        }
+        for (dev_name, dev) in &devices {
+            tracer.msg_with(Level::Info, || {
+                format!("cegis_bench: {} on {dev_name}", case.name)
+            });
+            let w1 = run_parserhawk_batch(&case.spec, dev, budget, 1);
+            let w2 = run_parserhawk_batch(&case.spec, dev, budget, 2);
+            let w4 = run_parserhawk_batch(&case.spec, dev, budget, 4);
+
+            // Pairs where both legs finish under the floor sit at timer
+            // resolution — their wall-time ratio is noise, so those cells
+            // are shown but kept out of the time aggregates.  The call
+            // counts are deterministic and stay in theirs regardless.
+            const GEOMEAN_FLOOR_S: f64 = 0.1;
+            let mut speed_cell = |on: &RunResult, acc: &mut Vec<(f64, bool)>| -> String {
+                let measurable = w1.time.as_secs_f64() >= GEOMEAN_FLOOR_S
+                    || on.time.as_secs_f64() >= GEOMEAN_FLOOR_S;
+                if on.ok() && w1.ok() {
+                    let s = w1.time.as_secs_f64() / on.time.as_secs_f64().max(1e-3);
+                    if measurable {
+                        acc.push((s, false));
+                        format!("{s:.2}x")
+                    } else {
+                        unmeasured += 1;
+                        format!("({s:.2}x)")
+                    }
+                } else if on.ok() && w1.timed_out {
+                    let s = budget.as_secs_f64() / on.time.as_secs_f64().max(1e-3);
+                    acc.push((s, true));
+                    format!(">{s:.2}x")
+                } else {
+                    "-".into()
+                }
+            };
+            let sp2 = speed_cell(&w2, &mut speedups_w2);
+            let sp4 = speed_cell(&w4, &mut speedups_w4);
+            let call_ratio = |on: &RunResult, acc: &mut Vec<(f64, bool)>| {
+                if let (Some(base), Some(calls)) = (synth_calls(&w1), synth_calls(on)) {
+                    if on.ok() && w1.ok() && base > 0 && calls > 0 {
+                        acc.push((base as f64 / calls as f64, false));
+                    }
+                }
+            };
+            call_ratio(&w2, &mut calls_w2);
+            call_ratio(&w4, &mut calls_w4);
+            let it =
+                |r: &RunResult| -> String { synth_calls(r).map_or("-".into(), |c| c.to_string()) };
+            println!(
+                "{:<34} {:<7} | {:>8} {:>8} {:>8} | {:>8} {:>8} | {:>5} {:>5} {:>5}",
+                case.name,
+                dev_name,
+                w1.time_cell(budget),
+                w2.time_cell(budget),
+                w4.time_cell(budget),
+                sp2,
+                sp4,
+                it(&w1),
+                it(&w2),
+                it(&w4)
+            );
+
+            let iters = Json::obj()
+                .with("w1", synth_calls(&w1).map_or(Json::Null, Json::from))
+                .with("w2", synth_calls(&w2).map_or(Json::Null, Json::from))
+                .with("w4", synth_calls(&w4).map_or(Json::Null, Json::from));
+            rows_json.push(
+                Json::obj()
+                    .with("name", case.name.as_str())
+                    .with("device", *dev_name)
+                    .with("w1", report::run_json(&w1, budget))
+                    .with("w2", report::run_json(&w2, budget))
+                    .with("w4", report::run_json(&w4, budget))
+                    .with("synth_calls", iters),
+            );
+        }
+    }
+
+    let (g2, lb2) = geomean(&speedups_w2);
+    let (g4, lb4) = geomean(&speedups_w4);
+    let (c2, _) = geomean(&calls_w2);
+    let (c4, _) = geomean(&calls_w4);
+    println!(
+        "\ngeometric-mean batch speed-up: w2 {}{:.3}x ({} pairs), w4 {}{:.3}x ({} pairs) \
+         ({unmeasured} cells below the {:.0}ms floor, in parentheses above)",
+        if lb2 { ">" } else { "" },
+        g2,
+        speedups_w2.len(),
+        if lb4 { ">" } else { "" },
+        g4,
+        speedups_w4.len(),
+        0.1 * 1e3,
+    );
+    println!(
+        "geometric-mean synth-call reduction: w2 {:.3}x ({} pairs), w4 {:.3}x ({} pairs)",
+        c2,
+        calls_w2.len(),
+        c4,
+        calls_w4.len(),
+    );
+
+    let doc = report::metadata("cegis_bench")
+        .with("timeout_s", budget.as_secs())
+        .with("filter", filter.as_str())
+        .with("detected_cores", detected_cores as u64)
+        .with("rows", Json::Arr(rows_json))
+        .with(
+            "summary",
+            Json::obj()
+                .with("measured_pairs_w2", speedups_w2.len())
+                .with("measured_pairs_w4", speedups_w4.len())
+                .with("below_floor_cells", unmeasured)
+                .with("geomean_speedup_w2", g2)
+                .with("geomean_speedup_w2_is_lower_bound", lb2)
+                .with("geomean_speedup", g4)
+                .with("geomean_is_lower_bound", lb4)
+                .with("call_reduction_pairs_w2", calls_w2.len())
+                .with("call_reduction_pairs_w4", calls_w4.len())
+                .with("geomean_call_reduction_w2", c2)
+                .with("geomean_call_reduction_w4", c4),
+        );
+    match report::write_results("cegis_bench", &doc) {
+        Ok(path) => println!("structured results: {}", path.display()),
+        Err(e) => eprintln!("failed to write results file: {e}"),
+    }
+    tracer.flush();
+}

@@ -22,15 +22,16 @@ use crate::reduce::reduce_spec;
 use crate::skeleton::{self, build_shape, build_vars, ConcreteSkel, Shape};
 use crate::specenc::{encode_spec_paths, mismatch_term};
 use crate::validate;
-use crate::{OptConfig, SynthError, SynthOutput, SynthParams, SynthStats};
+use crate::{OptConfig, RunHists, SynthError, SynthOutput, SynthParams, SynthStats};
 use ph_bits::{BitString, Rng};
 use ph_hw::DeviceProfile;
 use ph_ir::{analysis, NextState, ParseStatus, ParserSpec, StateId};
 use ph_obs::Level;
 use ph_smt::{Smt, SmtResult, Term};
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Which skeleton family to synthesize (Opt7.1 races both).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -218,6 +219,11 @@ pub fn synthesize_one(
         })
     };
 
+    // Candidate batch width for the CEGIS loop (see
+    // `effective_batch_width`): how many diverse candidates each synth
+    // solver call is milked for before verification.
+    let batch_width = effective_batch_width(opts, params);
+
     run_cegis(
         &working_spec,
         &reduced.spec,
@@ -226,9 +232,48 @@ pub fn synthesize_one(
         params,
         bounds,
         portfolio_width,
+        batch_width,
         flag,
         t0,
     )
+}
+
+/// Auto-width cap for batched CEGIS: diminishing returns past a few
+/// candidates (later blocking clauses make the re-checks harder and the
+/// counterexamples more redundant), so auto mode never goes wider.
+const MAX_AUTO_BATCH: usize = 4;
+
+/// Effective candidate batch width for one run.  [`OptConfig::batch`] is
+/// the feature gate; an explicit [`SynthParams::batch_width`] wins (the
+/// Opt7 race sets it to its per-branch core share), otherwise
+/// `min(cores, 4)` with a single-core clamp to the exact sequential loop —
+/// the same shape as the portfolio clamp.  `PH_BATCH` in the environment
+/// overrides everything: `PH_BATCH=0` is the kill switch and `PH_BATCH=k`
+/// forces width `k` even on one core (piercing the clamp, like
+/// `PH_PORTFOLIO`).
+pub(crate) fn effective_batch_width(opts: OptConfig, params: &SynthParams) -> usize {
+    if let Some(k) = std::env::var("PH_BATCH")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        return k.max(1);
+    }
+    if !opts.batch {
+        return 1;
+    }
+    if let Some(k) = params.batch_width {
+        return k.max(1);
+    }
+    let cores = params.portfolio_cores.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    if cores < 2 {
+        1
+    } else {
+        cores.min(MAX_AUTO_BATCH)
+    }
 }
 
 /// Rolls the per-solver portfolio counters up into the run-level stats.
@@ -249,6 +294,7 @@ fn run_cegis(
     params: &SynthParams,
     bounds: Bounds,
     portfolio_width: usize,
+    batch_width: usize,
     flag: Arc<AtomicBool>,
     t0: Instant,
 ) -> Result<SynthOutput, SynthError> {
@@ -268,16 +314,32 @@ fn run_cegis(
     stats.search_space_bits = vars.search_space_bits;
     tracer.gauge("cegis.search_space_bits", vars.search_space_bits as u64);
 
+    // Concurrent verifiers split the portfolio's core budget the same way
+    // the Opt7 race splits cores across branches: each of up to
+    // `batch_width` verifiers gets an equal share, the synth solver keeps
+    // the full width (it runs alone in its phase).
+    let verifier_width = if batch_width >= 2 {
+        (portfolio_width / batch_width).max(1)
+    } else {
+        portfolio_width
+    };
+
     // Persistent verification engine: the spec-path formula and the symbolic
     // implementation are encoded exactly once; every candidate (and every
     // shrink_masks trial) is checked under assumptions against this one
-    // instance.
+    // instance.  Batched rounds verify on a pool of these — member 0 is
+    // built now, siblings lazily on the first round that needs them.
     let tv = Instant::now();
-    let mut verifier = IncrementalVerifier::new(shape, red_spec, l, k_impl, k_spec, &flag)?;
-    verifier.set_simplify(params.simplify);
-    verifier.set_portfolio_width(portfolio_width);
-    verifier.set_portfolio_cores(params.portfolio_cores);
-    stats.verify_solver_builds += 1;
+    let mut pool: Vec<IncrementalVerifier> = Vec::with_capacity(batch_width);
+    let build_verifier = |stats: &mut SynthStats| -> Result<IncrementalVerifier, SynthError> {
+        let mut v = IncrementalVerifier::new(shape, red_spec, l, k_impl, k_spec, &flag)?;
+        v.set_simplify(params.simplify);
+        v.set_portfolio_width(verifier_width);
+        v.set_portfolio_cores(params.portfolio_cores);
+        stats.verify_solver_builds += 1;
+        Ok(v)
+    };
+    pool.push(build_verifier(&mut stats)?);
     stats.verify_time += tv.elapsed();
 
     // Initial test cases: all-zeros plus two random inputs.
@@ -323,8 +385,14 @@ fn run_cegis(
         }
         initial.push(b);
     }
+    // Every test ever encoded, for counterexample dedup: within a batch
+    // several candidates can fail on the same input, and `add_test`
+    // re-encodes the full `encode_impl` unrolling per test, so duplicates
+    // are worth dropping before they reach the solver.
+    let mut seen_tests: HashSet<BitString> = HashSet::new();
     for t in &initial {
         add_test(&mut smt, t, &mut stats);
+        seen_tests.insert(t.clone());
     }
 
     // Budget descent: single-table devices minimize total TCAM entries;
@@ -383,21 +451,37 @@ fn run_cegis(
                 tracer.msg(Level::Debug, "interrupted mid-descent");
                 stats.wall = t0.elapsed();
                 stats.synth_sat = smt.solver_stats();
-                stats.verify_sat = verifier.solver_stats();
+                stats.verify_sat = pooled_verify_stats(&pool);
                 fill_portfolio_counters(&mut stats);
                 return finish_or_timeout(best, shape, orig_spec, device, params, stats);
             }
             stats.cegis_iterations += 1;
             let _iter_span = tracer.span("cegis.iter");
             let ts = Instant::now();
-            // The synth phase covers model extraction too, so the span
-            // (and synth_time) is the full synthesis-side cost.
-            let (synth_result, candidate) = {
+            // The synth phase covers model extraction — and, when batching,
+            // the diversity harvest — so the span (and synth_time) is the
+            // full synthesis-side cost.
+            let (synth_result, mut batch) = {
                 let _s = tracer.span("cegis.synth");
                 let r = smt.check_assuming(&assumptions);
-                let c =
-                    (r == SmtResult::Sat).then(|| skeleton::extract_model(&mut smt, shape, &vars));
-                (r, c)
+                let mut batch: Vec<ConcreteSkel> = Vec::new();
+                if r == SmtResult::Sat {
+                    batch.push(skeleton::extract_model(&mut smt, shape, &vars));
+                    if batch_width >= 2 {
+                        harvest_batch(
+                            &mut smt,
+                            shape,
+                            &vars,
+                            &assumptions,
+                            batch_width,
+                            &flag,
+                            &mut batch,
+                            &mut stats,
+                            &tracer,
+                        );
+                    }
+                }
+                (r, batch)
             };
             let dt = ts.elapsed();
             stats.synth_time += dt;
@@ -425,67 +509,105 @@ fn run_cegis(
                 }
                 SmtResult::Sat => {}
             }
-            let candidate = candidate.expect("Sat result implies a model");
 
-            // Verification phase: one incremental check under assumptions,
-            // plus encoding the counterexample as a new test case — the
-            // span (and verify_time) is the full verification-side cost.
+            // Verification phase: one incremental check per candidate
+            // (concurrent when the batch has siblings), plus encoding every
+            // distinct counterexample as a new test case — the span (and
+            // verify_time) is the full verification-side cost.
             let tv = Instant::now();
-            let sat_before = verifier.solver_stats();
             let vspan = tracer.span("cegis.verify");
-            let verdict = verifier.verify(&candidate);
-            stats.verify_checks += 1;
-            if let Verdict::Counterexample(cex) = &verdict {
-                stats.counterexamples += 1;
-                tracer.count("cegis.cex", 1);
-                add_test(&mut smt, cex, &mut stats);
+            while pool.len() < batch.len() {
+                pool.push(build_verifier(&mut stats)?);
             }
-            drop(vspan);
-            let dt = tv.elapsed();
-            stats.verify_time += dt;
-            stats.hists.verify_query_ns.record(dt.as_nanos() as u64);
-            // Per-query solver effort: the delta this one check cost.
-            let d = verifier.solver_stats().delta_since(sat_before);
-            stats.max_verify_conflicts = stats.max_verify_conflicts.max(d.conflicts);
-            stats.hists.verify_conflicts.record(d.conflicts);
-            if tracer.enabled() {
-                tracer.count("verify.conflicts", d.conflicts);
-                tracer.count("verify.decisions", d.decisions);
-                tracer.count("verify.propagations", d.propagations);
-                tracer.record("verify.conflicts", d.conflicts);
-            }
-            match verdict {
-                Verdict::Unknown => {
-                    break 'outer;
+            let outcomes = verify_batch(&mut pool[..batch.len()], &batch, &tracer);
+            // Outcomes are processed strictly in candidate order so thread
+            // completion order never influences anything observable.
+            let stages_phase = phase == MinPhase::Stages;
+            let metric = |c: &ConcreteSkel| -> (u64, u64) {
+                if stages_phase {
+                    (
+                        skeleton::stages_used(c) as u64,
+                        skeleton::entry_count(c) as u64,
+                    )
+                } else {
+                    (skeleton::entry_count(c) as u64, 0)
                 }
-                Verdict::Counterexample(_) => {}
-                Verdict::Verified => {
-                    tracer.count("cegis.verified", 1);
-                    // Verified: record and tighten the active budget.
-                    match phase {
-                        MinPhase::Stages => {
-                            let used = skeleton::stages_used(&candidate) as u64;
-                            let entries = skeleton::entry_count(&candidate) as u64;
-                            best = Some(candidate);
-                            if used <= 1 {
-                                phase = MinPhase::Entries;
-                                stage_cap = Some(0);
-                                entry_cap = Some(entries.saturating_sub(1));
-                            } else {
-                                stage_cap = Some(used - 2);
-                            }
+            };
+            let mut best_verified: Option<usize> = None;
+            let mut unknown = false;
+            for (i, o) in outcomes.iter().enumerate() {
+                stats.verify_checks += 1;
+                if let Verdict::Counterexample(cex) = &o.verdict {
+                    stats.counterexamples += 1;
+                    tracer.count("cegis.cex", 1);
+                    if seen_tests.insert(cex.clone()) {
+                        add_test(&mut smt, cex, &mut stats);
+                        if i > 0 {
+                            stats.batch_cex_harvested += 1;
+                            tracer.count("cegis.batch.cex", 1);
                         }
-                        MinPhase::Entries => {
-                            let used = skeleton::entry_count(&candidate) as u64;
-                            best = Some(candidate);
-                            if used == 0 {
-                                break 'outer;
-                            }
-                            entry_cap = Some(used - 1);
+                    } else {
+                        stats.cex_dup_dropped += 1;
+                        tracer.count("cegis.batch.dup_dropped", 1);
+                    }
+                }
+                stats.hists.merge(&o.hists);
+                // Per-query solver effort: the delta this one check cost.
+                stats.max_verify_conflicts = stats.max_verify_conflicts.max(o.delta.conflicts);
+                if tracer.enabled() {
+                    tracer.count("verify.conflicts", o.delta.conflicts);
+                    tracer.count("verify.decisions", o.delta.decisions);
+                    tracer.count("verify.propagations", o.delta.propagations);
+                    tracer.record("verify.conflicts", o.delta.conflicts);
+                }
+                match o.verdict {
+                    Verdict::Unknown => unknown = true,
+                    Verdict::Verified => {
+                        tracer.count("cegis.verified", 1);
+                        let better =
+                            best_verified.is_none_or(|b| metric(&batch[i]) < metric(&batch[b]));
+                        if better {
+                            best_verified = Some(i);
                         }
                     }
-                    continue 'outer;
+                    Verdict::Counterexample(_) => {}
                 }
+            }
+            drop(vspan);
+            stats.verify_time += tv.elapsed();
+
+            // Decision, sequential semantics: a verified candidate (the
+            // best by the active budget metric when several verify)
+            // tightens the budget; an Unknown aborts; otherwise the loop
+            // re-enters synthesis with the new tests.
+            if let Some(i) = best_verified {
+                let candidate = batch.swap_remove(i);
+                match phase {
+                    MinPhase::Stages => {
+                        let used = skeleton::stages_used(&candidate) as u64;
+                        let entries = skeleton::entry_count(&candidate) as u64;
+                        best = Some(candidate);
+                        if used <= 1 {
+                            phase = MinPhase::Entries;
+                            stage_cap = Some(0);
+                            entry_cap = Some(entries.saturating_sub(1));
+                        } else {
+                            stage_cap = Some(used - 2);
+                        }
+                    }
+                    MinPhase::Entries => {
+                        let used = skeleton::entry_count(&candidate) as u64;
+                        best = Some(candidate);
+                        if used == 0 {
+                            break 'outer;
+                        }
+                        entry_cap = Some(used - 1);
+                    }
+                }
+                continue 'outer;
+            }
+            if unknown {
+                break 'outer;
             }
         }
         // CEGIS iteration cap hit at this budget: settle for what we have.
@@ -496,13 +618,13 @@ fn run_cegis(
     // which lets the post-synthesis chain merger absorb trivial states.
     // Each proposal is re-verified symbolically, so the pass is sound.
     if let Some(conc) = best.take() {
-        best = Some(shrink_masks(shape, &mut verifier, conc, &flag, &mut stats));
+        best = Some(shrink_masks(shape, &mut pool[0], conc, &flag, &mut stats));
     }
     drop(run_span);
 
     stats.wall = t0.elapsed();
     stats.synth_sat = smt.solver_stats();
-    stats.verify_sat = verifier.solver_stats();
+    stats.verify_sat = pooled_verify_stats(&pool);
     fill_portfolio_counters(&mut stats);
     tracer.msg_with(Level::Info, || {
         format!(
@@ -514,6 +636,159 @@ fn run_cegis(
         )
     });
     finish_or_timeout(best, shape, orig_spec, device, params, stats)
+}
+
+/// Harvests up to `batch_width - 1` additional *diverse* candidates from
+/// the synth solver after a Sat verdict: pushes one scope, and repeatedly
+/// blocks the last model over its semantic decision terms
+/// ([`Smt::block_model`]) and re-checks under the same budget assumptions.
+/// The scope is popped when the batch is full (or the solver runs dry), so
+/// the blocking clauses never leak into later budget levels.
+#[allow(clippy::too_many_arguments)]
+fn harvest_batch(
+    smt: &mut Smt,
+    shape: &Shape,
+    vars: &skeleton::SkelVars,
+    assumptions: &[Term],
+    batch_width: usize,
+    flag: &Arc<AtomicBool>,
+    batch: &mut Vec<ConcreteSkel>,
+    stats: &mut SynthStats,
+    tracer: &ph_obs::Tracer,
+) {
+    let _s = tracer.span("cegis.batch");
+    stats.batch_rounds += 1;
+    tracer.count("cegis.batch.rounds", 1);
+    smt.push();
+    while batch.len() < batch_width && !flag.load(Ordering::Relaxed) {
+        let last = batch.last().expect("harvest starts with one candidate");
+        let blockers = blocking_terms(smt, &vars.terms, last);
+        smt.block_model(&blockers);
+        if smt.check_assuming(assumptions) != SmtResult::Sat {
+            break;
+        }
+        batch.push(skeleton::extract_model(smt, shape, vars));
+    }
+    smt.pop();
+    stats.batch_candidates += batch.len() as u64;
+    tracer.count("cegis.batch.candidates", batch.len() as u64);
+}
+
+/// The semantic decision terms of one extracted candidate, for
+/// [`Smt::block_model`]: every key-allocation bit and extraction selector,
+/// every entry's active flag, and — for the candidate's active (prefix)
+/// entries — the *masked* value, the mask and the next-state code.
+/// Blocking the masked value rather than the raw value stops the solver
+/// from "diversifying" into don't-care value bits under a cleared mask
+/// bit; inactive entries' contents are skipped for the same reason.  Any
+/// model evading all these blocks therefore decodes to a genuinely
+/// different [`ConcreteSkel`].
+fn blocking_terms(smt: &mut Smt, terms: &skeleton::SkelTerms, cand: &ConcreteSkel) -> Vec<Term> {
+    let mut out = Vec::new();
+    for row in &terms.alloc {
+        out.extend(row.iter().copied());
+    }
+    out.extend(terms.ext_sel.iter().copied());
+    for (s, row) in terms.entries.iter().enumerate() {
+        let active = cand.entries.get(s).map_or(0, Vec::len);
+        for (j, e) in row.iter().enumerate() {
+            out.push(e.active);
+            if j < active {
+                let masked = smt.and(e.value, e.mask);
+                out.push(masked);
+                out.push(e.mask);
+                out.push(e.next);
+            }
+        }
+    }
+    out
+}
+
+/// One candidate's verification result plus the measurements its worker
+/// took on its own thread.
+struct VerifyOutcome {
+    verdict: Verdict,
+    /// Per-query solver effort (stats delta around the check).
+    delta: ph_sat::SolverStats,
+    /// Thread-local latency/conflict histograms, merged into
+    /// [`SynthStats::hists`] by the caller in candidate order so the
+    /// batched loop keeps per-candidate tail latencies.
+    hists: RunHists,
+}
+
+/// Verifies one batch: candidate `i` runs on verifier `i`, concurrently
+/// under [`std::thread::scope`] when the batch has siblings.  Workers
+/// inherit the caller's tracer (their `smt.check` spans land in the shared
+/// sink like the Opt7 race branches' do); all result processing stays with
+/// the caller.
+fn verify_batch(
+    pool: &mut [IncrementalVerifier<'_>],
+    batch: &[ConcreteSkel],
+    tracer: &ph_obs::Tracer,
+) -> Vec<VerifyOutcome> {
+    debug_assert_eq!(pool.len(), batch.len());
+    if batch.len() == 1 {
+        return vec![verify_one(&mut pool[0], &batch[0])];
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = pool
+            .iter_mut()
+            .zip(batch.iter())
+            .map(|(v, cand)| {
+                let tracer = tracer.clone();
+                s.spawn(move || {
+                    let _g = ph_obs::set_thread_tracer(tracer);
+                    verify_one(v, cand)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("verifier thread panicked"))
+            .collect()
+    })
+}
+
+/// One incremental candidate check with its own measurements.
+fn verify_one(v: &mut IncrementalVerifier<'_>, cand: &ConcreteSkel) -> VerifyOutcome {
+    let t = Instant::now();
+    let before = v.solver_stats();
+    let verdict = v.verify(cand);
+    let query: Duration = t.elapsed();
+    let delta = v.solver_stats().delta_since(before);
+    let mut hists = RunHists::default();
+    hists.verify_query_ns.record(query.as_nanos() as u64);
+    hists.verify_conflicts.record(delta.conflicts);
+    VerifyOutcome {
+        verdict,
+        delta,
+        hists,
+    }
+}
+
+/// Field-wise sum of the verifier pool's cumulative solver statistics —
+/// the run-level `verify_sat` when batched rounds spread queries across
+/// several persistent engines.  A pool of one reports exactly the
+/// sequential numbers.
+fn pooled_verify_stats(pool: &[IncrementalVerifier<'_>]) -> ph_sat::SolverStats {
+    let mut out = ph_sat::SolverStats::default();
+    for v in pool {
+        let s = v.solver_stats();
+        out.conflicts += s.conflicts;
+        out.decisions += s.decisions;
+        out.propagations += s.propagations;
+        out.restarts += s.restarts;
+        out.learnts += s.learnts;
+        out.clauses_added += s.clauses_added;
+        out.eliminated_vars += s.eliminated_vars;
+        out.subsumed_clauses += s.subsumed_clauses;
+        out.strengthened_clauses += s.strengthened_clauses;
+        out.failed_literals += s.failed_literals;
+        out.simplify_time_ns += s.simplify_time_ns;
+        out.portfolio_solves += s.portfolio_solves;
+        out.portfolio_imported += s.portfolio_imported;
+    }
+    out
 }
 
 /// Outcome of one symbolic verification.

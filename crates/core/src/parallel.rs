@@ -56,6 +56,19 @@ pub fn synthesize_racing(
     // is the parallelism.
     let branch_portfolio_width = params.portfolio_width.unwrap_or_else(|| (cores / 2).max(1));
 
+    // Batched CEGIS splits the same halved core budget: each branch's
+    // candidate batch (if it wasn't sized explicitly) gets the branch's
+    // core share, with the auto clamp keeping 2–3-core machines on the
+    // sequential loop inside each branch.
+    let branch_batch_width = params.batch_width.unwrap_or_else(|| {
+        let share = (cores / 2).max(1);
+        if share < 2 {
+            1
+        } else {
+            share.min(4)
+        }
+    });
+
     let flag_free = Arc::new(AtomicBool::new(false));
     let flag_loopy = Arc::new(AtomicBool::new(false));
 
@@ -78,6 +91,7 @@ pub fn synthesize_racing(
                 let mut branch_params = params.clone();
                 branch_params.tracer = Some(branch_tracer.clone());
                 branch_params.portfolio_width = Some(branch_portfolio_width);
+                branch_params.batch_width = Some(branch_batch_width);
                 let _g = ph_obs::set_thread_tracer(branch_tracer.clone());
                 let r = synthesize_one(spec, device, opts, &branch_params, mode, Some(mine));
                 if r.is_ok() {

@@ -1,0 +1,165 @@
+//! Batched multi-candidate CEGIS: forced-width batching must preserve the
+//! sequential loop's output quality (the budget descent reaches the same
+//! minima either way), populate its own counters coherently, and collapse
+//! to the exact sequential path at width 1.
+
+use ph_core::{OptConfig, SynthOutput, SynthParams, Synthesizer};
+use ph_hw::DeviceProfile;
+use ph_ir::ParserSpec;
+use ph_p4f::parse_parser;
+use std::time::Duration;
+
+/// The Fig. 7 two-state spec.
+fn fig7_spec() -> ParserSpec {
+    parse_parser(
+        r#"
+        header h_t { f0 : 4; f1 : 4; }
+        parser {
+            state start {
+                extract(h_t.f0);
+                transition select(h_t.f0[0:1]) {
+                    0b0 : s1;
+                    default : accept;
+                }
+            }
+            state s1 { extract(h_t.f1); transition accept; }
+        }
+        "#,
+    )
+    .unwrap()
+}
+
+/// A three-way dispatch spec: enough structure for several CEGIS
+/// iterations and a real entry-minimization descent.
+fn dispatch_spec() -> ParserSpec {
+    parse_parser(
+        r#"
+        header eth { ty : 4; }
+        header v4 { proto : 4; }
+        header v6 { nh : 4; }
+        parser {
+            state start {
+                extract(eth.ty);
+                transition select(eth.ty) {
+                    1 : pv4;
+                    2 : pv6;
+                    default : reject;
+                }
+            }
+            state pv4 {
+                extract(v4.proto);
+                transition select(v4.proto) {
+                    3 : accept;
+                    default : reject;
+                }
+            }
+            state pv6 { extract(v6.nh); transition accept; }
+        }
+        "#,
+    )
+    .unwrap()
+}
+
+/// Runs one synthesis with batching forced to `width` (`None` = feature
+/// off), Opt7 and the portfolio disabled so the comparison is the loop
+/// structure alone.
+fn run(spec: &ParserSpec, width: Option<usize>) -> SynthOutput {
+    let opts = OptConfig {
+        opt7_parallel: false,
+        portfolio: false,
+        batch: width.is_some(),
+        ..OptConfig::all()
+    };
+    Synthesizer::new(DeviceProfile::tofino(), opts)
+        .with_params(SynthParams {
+            timeout: Some(Duration::from_secs(120)),
+            batch_width: width,
+            ..Default::default()
+        })
+        .synthesize(spec)
+        .expect("spec synthesizes")
+}
+
+#[test]
+fn forced_batch_matches_sequential_quality() {
+    for spec in [fig7_spec(), dispatch_spec()] {
+        let seq = run(&spec, None);
+        let bat = run(&spec, Some(4));
+        // The descent reaches the same minima regardless of how many
+        // candidates each solver call is milked for.
+        assert_eq!(bat.program.entry_count(), seq.program.entry_count());
+        assert_eq!(bat.program.stages_used(), seq.program.stages_used());
+
+        // Sequential runs never open a harvest round or drop duplicates.
+        assert_eq!(seq.stats.batch_rounds, 0);
+        assert_eq!(seq.stats.batch_candidates, 0);
+        assert_eq!(seq.stats.batch_cex_harvested, 0);
+        assert_eq!(seq.stats.cex_dup_dropped, 0);
+        assert_eq!(seq.stats.verify_solver_builds, 1);
+
+        // Batched runs open one round per Sat synth call and the pool
+        // never outgrows the width.
+        assert!(bat.stats.batch_rounds >= 1, "no batch rounds recorded");
+        assert!(bat.stats.batch_candidates >= bat.stats.batch_rounds);
+        assert!((1..=4).contains(&bat.stats.verify_solver_builds));
+        // Candidate checks cover at least every synth round.
+        assert!(bat.stats.verify_checks >= bat.stats.batch_candidates as usize);
+    }
+}
+
+#[test]
+fn test_case_accounting_is_coherent() {
+    // 3 initial tests, plus exactly the distinct counterexamples.
+    for width in [None, Some(2), Some(4)] {
+        let out = run(&dispatch_spec(), width);
+        let s = &out.stats;
+        assert_eq!(
+            s.test_cases as u64,
+            3 + s.counterexamples as u64 - s.cex_dup_dropped,
+            "width {width:?}: test cases != initial + distinct cex",
+        );
+        assert!(s.batch_cex_harvested <= s.counterexamples as u64);
+    }
+}
+
+#[test]
+fn batch_width_one_equals_batch_off() {
+    for spec in [fig7_spec(), dispatch_spec()] {
+        let off = run(&spec, None);
+        let w1 = run(&spec, Some(1));
+        // Width 1 takes the identical sequential code path: same program,
+        // same trajectory, same counters.
+        assert_eq!(w1.program, off.program);
+        assert_eq!(w1.stats.cegis_iterations, off.stats.cegis_iterations);
+        assert_eq!(w1.stats.test_cases, off.stats.test_cases);
+        assert_eq!(w1.stats.counterexamples, off.stats.counterexamples);
+        assert_eq!(w1.stats.budget_levels, off.stats.budget_levels);
+        assert_eq!(w1.stats.verify_checks, off.stats.verify_checks);
+        assert_eq!(w1.stats.shrink_trials, off.stats.shrink_trials);
+        assert_eq!(w1.stats.shrink_accepted, off.stats.shrink_accepted);
+        assert_eq!(w1.stats.batch_rounds, 0);
+        assert_eq!(w1.stats.verify_solver_builds, 1);
+        assert_eq!(
+            w1.stats.synth_sat.conflicts, off.stats.synth_sat.conflicts,
+            "synth solver trajectory diverged at width 1"
+        );
+        assert_eq!(
+            w1.stats.verify_sat.conflicts,
+            off.stats.verify_sat.conflicts
+        );
+    }
+}
+
+#[test]
+fn batch_counters_appear_in_json() {
+    let out = run(&fig7_spec(), Some(2));
+    let j = out.stats.to_json();
+    for key in [
+        "batch_rounds",
+        "batch_candidates",
+        "batch_cex_harvested",
+        "cex_dup_dropped",
+    ] {
+        assert!(j.get(key).is_some(), "stats json missing {key}");
+    }
+}

@@ -445,6 +445,25 @@ impl Smt {
         self.scopes.len()
     }
 
+    /// Blocks the current model's assignment to `vars`: asserts that at
+    /// least one of them takes a different value on future checks.
+    ///
+    /// Reads each variable's value from the model of the last `Sat` check
+    /// and asserts the disjunction of disequalities.  Asserted in the
+    /// innermost open scope, so a `push`/`pop` pair around an enumeration
+    /// discards all blocks at once.  With an empty `vars` the blocking
+    /// clause is `false`, making the scope unsatisfiable.
+    pub fn block_model(&mut self, vars: &[Term]) {
+        let mut diffs = Vec::with_capacity(vars.len());
+        for &v in vars {
+            let val = self.model_value(v);
+            let c = self.const_bits(val);
+            diffs.push(self.ne(v, c));
+        }
+        let clause = self.or_all(&diffs);
+        self.assert(clause);
+    }
+
     /// Checks satisfiability of the asserted formula.
     pub fn check(&mut self) -> SmtResult {
         self.check_assuming(&[])

@@ -1,0 +1,61 @@
+//! `Smt::block_model`: scoped all-SAT enumeration over a variable set.
+//!
+//! Pushing a scope, blocking each model, and re-checking must enumerate
+//! every assignment exactly once; popping the scope must discard all the
+//! blocking clauses so the original formula is satisfiable again.
+
+use ph_smt::{Smt, SmtResult};
+
+#[test]
+fn enumerates_all_models_once() {
+    let mut smt = Smt::new();
+    let x = smt.var("x", 2);
+    // No constraints: a 2-bit variable has exactly 4 models.
+    smt.push();
+    let mut seen = Vec::new();
+    loop {
+        match smt.check() {
+            SmtResult::Sat => {
+                let v = smt.model_value(x);
+                assert!(!seen.contains(&v), "model {v:?} enumerated twice");
+                seen.push(v);
+                smt.block_model(&[x]);
+            }
+            SmtResult::Unsat => break,
+            SmtResult::Unknown => panic!("unexpected unknown"),
+        }
+    }
+    assert_eq!(seen.len(), 4, "expected 4 models of a 2-bit var");
+    smt.pop();
+    // The blocks died with the scope: the formula is satisfiable again.
+    assert_eq!(smt.check(), SmtResult::Sat);
+}
+
+#[test]
+fn blocks_only_listed_vars() {
+    let mut smt = Smt::new();
+    let x = smt.var("x", 1);
+    let y = smt.var("y", 1);
+    smt.push();
+    assert_eq!(smt.check(), SmtResult::Sat);
+    let x0 = smt.model_value(x);
+    // Block only x: the next model must flip x, whatever y does.
+    smt.block_model(&[x]);
+    assert_eq!(smt.check(), SmtResult::Sat);
+    assert_ne!(smt.model_value(x), x0);
+    let _ = y;
+    smt.pop();
+}
+
+#[test]
+fn empty_var_set_closes_the_scope() {
+    let mut smt = Smt::new();
+    let _x = smt.var("x", 4);
+    smt.push();
+    assert_eq!(smt.check(), SmtResult::Sat);
+    // Blocking over no variables asserts `false` in the scope.
+    smt.block_model(&[]);
+    assert_eq!(smt.check(), SmtResult::Unsat);
+    smt.pop();
+    assert_eq!(smt.check(), SmtResult::Sat);
+}

@@ -457,6 +457,10 @@ pub fn stats_from_json(j: &Json) -> Result<SynthStats, CodecError> {
         max_verify_conflicts: get_u64(j, "max_verify_conflicts")?,
         portfolio_races: get_u64(j, "portfolio_races")?,
         portfolio_clauses_imported: get_u64(j, "portfolio_clauses_imported")?,
+        batch_rounds: get_u64(j, "batch_rounds").unwrap_or(0),
+        batch_candidates: get_u64(j, "batch_candidates").unwrap_or(0),
+        batch_cex_harvested: get_u64(j, "batch_cex_harvested").unwrap_or(0),
+        cex_dup_dropped: get_u64(j, "cex_dup_dropped").unwrap_or(0),
         cache_hits: get_u64(j, "cache_hits").unwrap_or(0),
         cache_misses: get_u64(j, "cache_misses").unwrap_or(0),
         hists: Default::default(),
