@@ -514,6 +514,64 @@ fn check_cegis_bench(file: &str, doc: &Json) {
     );
 }
 
+/// Validates a `solver_bench` document (`results/solver_bench.json`): the
+/// on/off rows with their stats payloads plus the summary's geomean and
+/// propagation-throughput rates.
+fn check_solver_bench(file: &str, doc: &Json) {
+    let Some(rows) = doc.get("rows").and_then(Json::as_arr) else {
+        fail(file, "missing array field \"rows\"".into());
+    };
+    for (i, r) in rows.iter().enumerate() {
+        if r.get("name").and_then(Json::as_str).is_none() {
+            fail(file, format!("rows[{i}] has no \"name\""));
+        }
+        if r.get("device").and_then(Json::as_str).is_none() {
+            fail(file, format!("rows[{i}].device missing or not a string"));
+        }
+        for leg in ["off", "on"] {
+            let Some(run) = r.get(leg) else {
+                fail(file, format!("rows[{i}] missing run object {leg:?}"));
+            };
+            if run.get("time_s").and_then(Json::as_f64).is_none() {
+                fail(
+                    file,
+                    format!("rows[{i}].{leg}.time_s missing or not a number"),
+                );
+            }
+        }
+    }
+    let Some(s) = doc.get("summary") else {
+        fail(file, "missing object field \"summary\"".into());
+    };
+    for key in ["measured_pairs", "below_floor_pairs"] {
+        if s.get(key).and_then(Json::as_i64).is_none() {
+            fail(file, format!("summary.{key} missing or not an integer"));
+        }
+    }
+    for key in [
+        "geomean_speedup",
+        "props_per_sec_off",
+        "props_per_sec_on",
+        "decisions_per_sec_off",
+        "decisions_per_sec_on",
+    ] {
+        if s.get(key).and_then(Json::as_f64).is_none() {
+            fail(file, format!("summary.{key} missing or not a number"));
+        }
+    }
+    let stats = check_stats(file, doc);
+    let p_on = s
+        .get("props_per_sec_on")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    println!(
+        "check_schema: {file}: ok (solver_bench: {} rows, {stats} stats payloads, \
+         {:.2}M props/s on-leg)",
+        rows.len(),
+        p_on / 1e6
+    );
+}
+
 /// Validates one `ph-svc` result-cache entry (`$PH_CACHE_DIR/<key>.json`),
 /// dispatching on its `cache_version` field.
 fn check_cache_entry(file: &str, doc: &Json) {
@@ -590,6 +648,7 @@ fn check_results(file: &str, text: &str) {
         Some("bench_diff") => return check_bench_diff(file, &doc),
         Some("svc_bench") => return check_svc_bench(file, &doc),
         Some("cegis_bench") => return check_cegis_bench(file, &doc),
+        Some("solver_bench") => return check_solver_bench(file, &doc),
         _ => {}
     }
     let Some(rows) = doc.get("rows").and_then(Json::as_arr) else {

@@ -32,8 +32,14 @@ fn parse_assumptions(text: &str) -> Vec<i64> {
         .collect()
 }
 
-/// Solves one dump on a fresh solver; returns (verdict, seconds).
-fn run_leg(text: &str, assumes: &[i64], simplify: bool, budget: u64) -> (SolveResult, f64) {
+/// Solves one dump on a fresh solver; returns (verdict, seconds,
+/// propagations, decisions).
+fn run_leg(
+    text: &str,
+    assumes: &[i64],
+    simplify: bool,
+    budget: u64,
+) -> (SolveResult, f64, u64, u64) {
     let (mut s, nv) = parse_dimacs(text).expect("dump should be valid DIMACS");
     s.set_simplify(simplify);
     s.set_conflict_budget(Some(budget));
@@ -56,7 +62,8 @@ fn run_leg(text: &str, assumes: &[i64], simplify: bool, budget: u64) -> (SolveRe
         s.simplify();
     }
     let r = s.solve_with_assumptions(&lits);
-    (r, t0.elapsed().as_secs_f64())
+    let st = s.stats();
+    (r, t0.elapsed().as_secs_f64(), st.propagations, st.decisions)
 }
 
 fn main() {
@@ -85,12 +92,14 @@ fn main() {
     }
 
     let (mut t_off, mut t_on) = (0.0f64, 0.0f64);
+    let (mut props_off, mut props_on) = (0u64, 0u64);
+    let (mut decs_off, mut decs_on) = (0u64, 0u64);
     let (mut solved, mut skipped, mut mismatches) = (0usize, 0usize, 0usize);
     for f in &files {
         let text = std::fs::read_to_string(f).expect("readable dump");
         let assumes = parse_assumptions(&text);
-        let (r_off, s_off) = run_leg(&text, &assumes, false, budget);
-        let (r_on, s_on) = run_leg(&text, &assumes, true, budget);
+        let (r_off, s_off, p_off, d_off) = run_leg(&text, &assumes, false, budget);
+        let (r_on, s_on, p_on, d_on) = run_leg(&text, &assumes, true, budget);
         if r_off == SolveResult::Unknown || r_on == SolveResult::Unknown {
             skipped += 1;
             continue;
@@ -107,6 +116,10 @@ fn main() {
         solved += 1;
         t_off += s_off;
         t_on += s_on;
+        props_off += p_off;
+        props_on += p_on;
+        decs_off += d_off;
+        decs_on += d_on;
     }
 
     println!(
@@ -116,6 +129,14 @@ fn main() {
     println!(
         "  simplify off: {t_off:.3}s   simplify on: {t_on:.3}s   speed-up: {:.3}x",
         t_off / t_on.max(1e-9)
+    );
+    println!(
+        "  throughput off: {:.2}M props/s ({:.2}K decisions/s)   on: {:.2}M props/s \
+         ({:.2}K decisions/s)",
+        props_off as f64 / t_off.max(1e-9) / 1e6,
+        decs_off as f64 / t_off.max(1e-9) / 1e3,
+        props_on as f64 / t_on.max(1e-9) / 1e6,
+        decs_on as f64 / t_on.max(1e-9) / 1e3,
     );
     if mismatches > 0 {
         std::process::exit(1);

@@ -27,6 +27,17 @@ use ph_core::OptConfig;
 use ph_hw::DeviceProfile;
 use ph_obs::{Json, Level};
 
+/// Propagations and decisions of one run, summed over both SAT engines.
+fn prop_totals(r: &RunResult) -> (u64, u64) {
+    match &r.stats {
+        Some(s) => (
+            s.synth_sat.propagations + s.verify_sat.propagations,
+            s.synth_sat.decisions + s.verify_sat.decisions,
+        ),
+        None => (0, 0),
+    }
+}
+
 /// Simplifier effort of one run, summed over both SAT engines.
 fn simplify_totals(r: &RunResult) -> (u64, u64, u64, f64) {
     match &r.stats {
@@ -69,6 +80,8 @@ fn main() {
     let mut speedups: Vec<(f64, bool)> = Vec::new();
     let mut unmeasured = 0usize;
     let mut rows_json: Vec<Json> = Vec::new();
+    // Propagation-throughput accumulators per leg: (props, decisions, secs).
+    let mut thru = [(0u64, 0u64, 0.0f64); 2];
     let devices = [
         ("tofino", DeviceProfile::tofino()),
         ("ipu", DeviceProfile::ipu()),
@@ -101,6 +114,12 @@ fn main() {
     {
         for ((case, dev_name, _), (off, on)) in units.iter().zip(runs) {
             let (elim, sub, strn, simp_s) = simplify_totals(&on);
+            for (slot, r) in thru.iter_mut().zip([&off, &on]) {
+                let (p, d) = prop_totals(r);
+                slot.0 += p;
+                slot.1 += d;
+                slot.2 += r.time.as_secs_f64();
+            }
             // Pairs where both legs finish under the floor sit at timer
             // resolution — their ratio is noise (when the scheduler never
             // fired, the two legs ran identical code), so they are shown
@@ -156,6 +175,18 @@ fn main() {
         speedups.len(),
         0.1 * 1e3,
     );
+    // Aggregate propagation throughput per leg — the cache-locality signal
+    // the flat-arena layout targets.
+    let rate = |n: u64, s: f64| if s > 0.0 { n as f64 / s } else { 0.0 };
+    let [(p_off, d_off, s_off), (p_on, d_on, s_on)] = thru;
+    println!(
+        "propagation throughput: off {:.2}M props/s ({:.2}K decisions/s), \
+         on {:.2}M props/s ({:.2}K decisions/s)",
+        rate(p_off, s_off) / 1e6,
+        rate(d_off, s_off) / 1e3,
+        rate(p_on, s_on) / 1e6,
+        rate(d_on, s_on) / 1e3,
+    );
 
     let doc = report::metadata("solver_bench")
         .with("timeout_s", budget.as_secs())
@@ -168,7 +199,11 @@ fn main() {
                 .with("measured_pairs", speedups.len())
                 .with("below_floor_pairs", unmeasured)
                 .with("geomean_speedup", g)
-                .with("geomean_is_lower_bound", lb),
+                .with("geomean_is_lower_bound", lb)
+                .with("props_per_sec_off", rate(p_off, s_off))
+                .with("props_per_sec_on", rate(p_on, s_on))
+                .with("decisions_per_sec_off", rate(d_off, s_off))
+                .with("decisions_per_sec_on", rate(d_on, s_on)),
         );
     match report::write_results("solver_bench", &doc) {
         Ok(path) => println!("structured results: {}", path.display()),

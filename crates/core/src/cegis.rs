@@ -787,6 +787,10 @@ fn pooled_verify_stats(pool: &[IncrementalVerifier<'_>]) -> ph_sat::SolverStats 
         out.simplify_time_ns += s.simplify_time_ns;
         out.portfolio_solves += s.portfolio_solves;
         out.portfolio_imported += s.portfolio_imported;
+        out.arena_gcs += s.arena_gcs;
+        // A level, not a counter: the pool's live arena footprint is the
+        // sum over its engines.
+        out.arena_bytes += s.arena_bytes;
     }
     out
 }

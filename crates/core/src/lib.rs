@@ -374,6 +374,8 @@ fn solver_stats_json(s: &SolverStats) -> Json {
         .with("simplify_time_ns", s.simplify_time_ns)
         .with("portfolio_solves", s.portfolio_solves)
         .with("portfolio_imported", s.portfolio_imported)
+        .with("arena_gcs", s.arena_gcs)
+        .with("arena_bytes", s.arena_bytes)
 }
 
 impl SynthStats {

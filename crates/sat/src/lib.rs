@@ -34,6 +34,7 @@
 //! assert_eq!(s.value(b), Some(true));
 //! ```
 
+mod arena;
 mod dimacs;
 mod lit;
 mod portfolio;

@@ -27,7 +27,12 @@ impl fmt::Debug for Var {
 
 /// A literal: a variable with a polarity.  `2*var` is the positive literal,
 /// `2*var + 1` the negative one.
+///
+/// `repr(transparent)` over the packed `u32` is a layout guarantee the
+/// clause arena relies on: clause literals are stored as raw words in one
+/// flat `Vec<u32>` and re-viewed as `&[Lit]` without copying.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct Lit(u32);
 
 impl Lit {

@@ -445,10 +445,11 @@ impl Solver {
     /// Captures the master's live clause database for portfolio workers.
     pub fn snapshot(&self) -> SolverSnapshot {
         let mut learnts: Vec<(Vec<Lit>, u32)> = self
-            .clauses
+            .learnts
             .iter()
-            .filter(|c| c.learnt && !c.deleted)
-            .map(|c| (c.lits.clone(), c.lbd))
+            .copied()
+            .filter(|&c| !self.arena.is_deleted(c))
+            .map(|c| (self.arena.lits(c).to_vec(), self.arena.lbd(c)))
             .collect();
         learnts.sort_by_key(|(lits, lbd)| (*lbd, lits.len()));
         SolverSnapshot {
@@ -512,12 +513,15 @@ impl Solver {
         let bound = self.trail_lim.first().copied().unwrap_or(self.trail.len());
         let units: Vec<Lit> = self.trail[..bound].to_vec();
         let mut learnts: Vec<(Vec<Lit>, u32)> = self
-            .clauses
+            .learnts
             .iter()
-            .filter(|c| {
-                c.learnt && !c.deleted && c.lits.len() <= IMPORT_MAX_LEN && c.lbd <= IMPORT_MAX_LBD
+            .copied()
+            .filter(|&c| {
+                !self.arena.is_deleted(c)
+                    && self.arena.len(c) <= IMPORT_MAX_LEN
+                    && self.arena.lbd(c) <= IMPORT_MAX_LBD
             })
-            .map(|c| (c.lits.clone(), c.lbd))
+            .map(|c| (self.arena.lits(c).to_vec(), self.arena.lbd(c)))
             .collect();
         learnts.sort_by_key(|(lits, lbd)| (*lbd, lits.len()));
         learnts.truncate(IMPORT_MAX_CLAUSES);
@@ -587,7 +591,7 @@ impl Solver {
             }
             n => {
                 let lbd = lbd.clamp(2, n as u32);
-                self.attach_clause(keep, true, lbd);
+                self.attach_clause(&keep, true, lbd);
                 true
             }
         }

@@ -3,10 +3,10 @@
 //! Three techniques run together in one pass over the problem clauses,
 //! always at decision level 0:
 //!
-//! * **(Self-)subsumption** with occurrence lists and 64-bit clause
-//!   signatures: a clause C deletes any clause D ⊇ C, and strengthens any
-//!   D that contains C with exactly one literal flipped (self-subsuming
-//!   resolution removes the flipped literal from D).
+//! * **(Self-)subsumption** with occurrence lists and the 32-bit clause
+//!   signatures stored in the arena headers: a clause C deletes any clause
+//!   D ⊇ C, and strengthens any D that contains C with exactly one literal
+//!   flipped (self-subsuming resolution removes the flipped literal from D).
 //! * **Bounded variable elimination**: a non-frozen variable `v` is resolved
 //!   away when the set of non-tautological resolvents of its positive and
 //!   negative occurrences is no larger than the clauses removed and no
@@ -16,6 +16,12 @@
 //! * **Failed-literal probing**: a bounded number of literals from binary
 //!   clauses are assumed one at a time; a propagation conflict fixes the
 //!   negation at the top level.
+//!
+//! Clauses live in the flat arena (see [`crate::arena`]): deletion
+//! tombstones in place, strengthening shrinks in place (the freed words
+//! count as waste), and the occurrence lists hold arena references that are
+//! validated lazily on use.  The pass ends with [`Solver::maybe_gc`], so the
+//! tombstones it produces are the natural trigger for compaction.
 //!
 //! The pass coexists with incremental solving through *frozen* variables:
 //! anything that may later appear in an assumption, a new clause or a model
@@ -31,7 +37,7 @@
 //! `extend_model` after every satisfiable verdict.
 
 use crate::lit::{Lit, Var};
-use crate::solver::{Clause, ClauseRef, LBool, Solver, Watch, REASON_NONE};
+use crate::solver::{ClauseRef, LBool, Solver, Watch, REASON_NONE};
 use std::sync::atomic::Ordering;
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -71,19 +77,11 @@ pub(crate) fn simplify_disabled_by_env() -> bool {
     })
 }
 
-/// 64-bit clause signature over variable indices: `sig(C) & !sig(D) != 0`
-/// proves C cannot subsume (or self-subsume into) D.
-fn clause_sig(lits: &[Lit]) -> u64 {
-    lits.iter().fold(0u64, |s, l| s | 1u64 << (l.var().0 % 64))
-}
-
 /// Scratch state for one simplification pass.
 struct SimpCtx {
     /// Occurrence lists over live problem clauses, indexed by `Lit::index`.
     /// Entries go stale on deletion/strengthening; validated on use.
     occ: Vec<Vec<ClauseRef>>,
-    /// Clause signatures, parallel to the clause arena.
-    sigs: Vec<u64>,
     /// Unit literals waiting to be applied through the occurrence lists.
     units: Vec<Lit>,
     /// Clauses whose subsumption potential changed (new or strengthened).
@@ -207,6 +205,13 @@ impl Solver {
         self.new_since_simplify = 0;
         self.pending_subsumption.clear();
         self.conflicts_at_simplify = self.stats.conflicts;
+        if ok {
+            // The pass is the main tombstone producer; collect the arena
+            // here if the waste crossed the threshold.  All level-0 reasons
+            // at this point reference live clauses (deleted ones were
+            // cleared by the watch rebuild).
+            self.maybe_gc();
+        }
         if tracer.enabled() {
             let d = self.stats.delta_since(before);
             tracer.count("sat.simplify.eliminated_vars", d.eliminated_vars);
@@ -266,7 +271,6 @@ impl Solver {
         }
         let mut ctx = SimpCtx {
             occ: Vec::new(),
-            sigs: Vec::new(),
             units: Vec::new(),
             queue: Vec::new(),
             touched: Vec::new(),
@@ -275,19 +279,22 @@ impl Solver {
             return false;
         }
         self.build_occ(&mut ctx);
-        let live = |s: &Solver, c: ClauseRef| {
-            let cl = &s.clauses[c as usize];
-            !cl.deleted && !cl.learnt
-        };
         if first {
-            ctx.queue
-                .extend((0..self.clauses.len() as ClauseRef).filter(|&c| live(self, c)));
+            ctx.queue.extend(
+                self.clauses
+                    .iter()
+                    .copied()
+                    .filter(|&c| !self.arena.is_deleted(c)),
+            );
         } else {
-            ctx.queue
-                .extend(pending.into_iter().filter(|&c| live(self, c)));
+            ctx.queue.extend(
+                pending
+                    .into_iter()
+                    .filter(|&c| !self.arena.is_deleted(c) && !self.arena.is_learnt(c)),
+            );
             for i in 0..ctx.queue.len() {
                 let c = ctx.queue[i];
-                for l in &self.clauses[c as usize].lits {
+                for &l in self.arena.lits(c) {
                     ctx.touched.push(l.var());
                 }
             }
@@ -327,38 +334,32 @@ impl Solver {
             .is_some_and(|f| f.load(Ordering::Relaxed))
     }
 
-    /// Marks a clause deleted and releases its literal storage (watches are
-    /// either detached or rebuilt afterwards, so nothing dangles).
-    fn delete_clause(&mut self, cref: ClauseRef) {
-        let c = &mut self.clauses[cref as usize];
-        if c.deleted {
-            return;
-        }
-        c.deleted = true;
-        c.lits = Vec::new();
-        if c.learnt {
-            self.stats.learnts = self.stats.learnts.saturating_sub(1);
-        }
-    }
-
     /// Is `cref` still a live problem clause containing `l`?  (Occurrence
     /// lists are updated lazily, so entries must be validated on use.)
     fn occ_valid(&self, cref: ClauseRef, l: Lit) -> bool {
-        let c = &self.clauses[cref as usize];
-        !c.deleted && !c.learnt && c.lits.binary_search(&l).is_ok()
+        !self.arena.is_deleted(cref)
+            && !self.arena.is_learnt(cref)
+            && self.arena.lits(cref).binary_search(&l).is_ok()
     }
 
     /// Drops satisfied clauses, removes falsified literals, and re-sorts
-    /// every clause (search may have permuted watched literals).
+    /// every clause in place (search may have permuted watched literals).
     fn strip_clauses(&mut self, ctx: &mut SimpCtx) -> bool {
-        for ci in 0..self.clauses.len() {
-            if self.clauses[ci].deleted {
+        let refs: Vec<ClauseRef> = self
+            .clauses
+            .iter()
+            .chain(self.learnts.iter())
+            .copied()
+            .collect();
+        for cref in refs {
+            if self.arena.is_deleted(cref) {
                 continue;
             }
-            let lits = std::mem::take(&mut self.clauses[ci].lits);
-            let mut kept = Vec::with_capacity(lits.len());
+            let len = self.arena.len(cref);
+            let mut kept: Vec<Lit> = Vec::with_capacity(len);
             let mut satisfied = false;
-            for &l in &lits {
+            for k in 0..len {
+                let l = self.arena.lit_at(cref, k);
                 match self.lit_lbool(l) {
                     LBool::True => {
                         satisfied = true;
@@ -369,7 +370,7 @@ impl Solver {
                 }
             }
             if satisfied {
-                self.delete_clause(ci as ClauseRef);
+                self.delete_clause(cref);
                 continue;
             }
             kept.sort();
@@ -377,9 +378,17 @@ impl Solver {
                 0 => return false,
                 1 => {
                     ctx.units.push(kept[0]);
-                    self.delete_clause(ci as ClauseRef);
+                    self.delete_clause(cref);
                 }
-                _ => self.clauses[ci].lits = kept,
+                _ => {
+                    for (k, &l) in kept.iter().enumerate() {
+                        self.arena.set_lit(cref, k, l);
+                    }
+                    self.arena.shrink(cref, kept.len());
+                    if !self.arena.is_learnt(cref) {
+                        self.arena.recompute_sig(cref);
+                    }
+                }
             }
         }
         true
@@ -388,16 +397,13 @@ impl Solver {
     fn build_occ(&mut self, ctx: &mut SimpCtx) {
         ctx.occ.clear();
         ctx.occ.resize(self.watches.len(), Vec::new());
-        ctx.sigs.clear();
-        ctx.sigs.resize(self.clauses.len(), 0);
-        for ci in 0..self.clauses.len() {
-            let c = &self.clauses[ci];
-            if c.deleted || c.learnt {
+        for i in 0..self.clauses.len() {
+            let cref = self.clauses[i];
+            if self.arena.is_deleted(cref) {
                 continue;
             }
-            ctx.sigs[ci] = clause_sig(&c.lits);
-            for &l in &c.lits {
-                ctx.occ[l.index()].push(ci as ClauseRef);
+            for &l in self.arena.lits(cref) {
+                ctx.occ[l.index()].push(cref);
             }
         }
     }
@@ -438,14 +444,11 @@ impl Solver {
                 if !self.occ_valid(cref, neg) {
                     continue;
                 }
-                let ci = cref as usize;
-                self.clauses[ci].lits.retain(|&l| l != neg);
+                self.arena.remove_lit(cref, neg);
                 self.stats.strengthened_clauses += 1;
-                ctx.sigs[ci] = clause_sig(&self.clauses[ci].lits);
-                match self.clauses[ci].lits.len() {
-                    0 => return false,
+                match self.arena.len(cref) {
                     1 => {
-                        let l0 = self.clauses[ci].lits[0];
+                        let l0 = self.arena.lit_at(cref, 0);
                         ctx.units.push(l0);
                         self.delete_clause(cref);
                     }
@@ -469,13 +472,12 @@ impl Solver {
             if polls.is_multiple_of(64) && self.interrupted() {
                 break;
             }
-            let ci = cref as usize;
-            if self.clauses[ci].deleted || self.clauses[ci].learnt {
+            if self.arena.is_deleted(cref) || self.arena.is_learnt(cref) {
                 continue;
             }
             // Snapshot C's literals: strengthening C mid-loop keeps the
             // snapshot implied by the database, so matches stay sound.
-            let lits = self.clauses[ci].lits.clone();
+            let lits: Vec<Lit> = self.arena.lits(cref).to_vec();
             let Some(best) = lits.iter().map(|l| l.var()).min_by_key(|v| {
                 ctx.occ[Lit::pos(*v).index()].len() + ctx.occ[Lit::neg(*v).index()].len()
             }) else {
@@ -487,19 +489,18 @@ impl Solver {
             if cands.len() > MAX_SUBSUMPTION_OCC {
                 continue;
             }
-            let csig = ctx.sigs[ci];
+            let csig = self.arena.sig(cref);
             for d in cands {
                 if d == cref {
                     continue;
                 }
-                let di = d as usize;
-                if self.clauses[di].deleted
-                    || csig & !ctx.sigs[di] != 0
-                    || self.clauses[di].lits.len() < lits.len()
+                if self.arena.is_deleted(d)
+                    || csig & !self.arena.sig(d) != 0
+                    || self.arena.len(d) < lits.len()
                 {
                     continue;
                 }
-                match subsume_check(&lits, &self.clauses[di].lits) {
+                match subsume_check(&lits, self.arena.lits(d)) {
                     SubsumeResult::No => {}
                     SubsumeResult::Subsumed => {
                         self.delete_clause(d);
@@ -507,19 +508,17 @@ impl Solver {
                     }
                     SubsumeResult::Strengthen(l) => {
                         let rem = !l;
-                        self.clauses[di].lits.retain(|&x| x != rem);
+                        self.arena.remove_lit(d, rem);
                         self.stats.strengthened_clauses += 1;
-                        ctx.sigs[di] = clause_sig(&self.clauses[di].lits);
-                        match self.clauses[di].lits.len() {
-                            0 => return false,
+                        match self.arena.len(d) {
                             1 => {
-                                let u = self.clauses[di].lits[0];
+                                let u = self.arena.lit_at(d, 0);
                                 ctx.units.push(u);
                                 self.delete_clause(d);
                                 if !self.apply_units(ctx) {
                                     return false;
                                 }
-                                if self.clauses[ci].deleted {
+                                if self.arena.is_deleted(cref) {
                                     break;
                                 }
                             }
@@ -578,11 +577,10 @@ impl Solver {
 
     /// Prunes stale entries from one occurrence list and returns its length.
     fn occ_compact(&mut self, ctx: &mut SimpCtx, l: Lit) -> usize {
-        let clauses = &self.clauses;
+        let arena = &self.arena;
         let list = &mut ctx.occ[l.index()];
         list.retain(|&c| {
-            let cl = &clauses[c as usize];
-            !cl.deleted && !cl.learnt && cl.lits.binary_search(&l).is_ok()
+            !arena.is_deleted(c) && !arena.is_learnt(c) && arena.lits(c).binary_search(&l).is_ok()
         });
         list.len()
     }
@@ -605,11 +603,7 @@ impl Solver {
         let mut resolvents: Vec<Vec<Lit>> = Vec::new();
         for &p in &pos {
             for &n in &neg {
-                match resolve(
-                    &self.clauses[p as usize].lits,
-                    &self.clauses[n as usize].lits,
-                    v,
-                ) {
+                match resolve(self.arena.lits(p), self.arena.lits(n), v) {
                     None => {} // tautology: does not count against the limit
                     Some(r) => {
                         if r.len() > MAX_RESOLVENT_LEN || resolvents.len() >= limit {
@@ -631,7 +625,7 @@ impl Solver {
         };
         let saved: Vec<Vec<Lit>> = saved_refs
             .iter()
-            .map(|&c| self.clauses[c as usize].lits.clone())
+            .map(|&c| self.arena.lits(c).to_vec())
             .collect();
         self.elim_stack.push((pivot, saved));
         for &c in pos.iter().chain(neg.iter()) {
@@ -643,7 +637,7 @@ impl Solver {
             match r.len() {
                 0 => return None,
                 1 => ctx.units.push(r[0]),
-                _ => self.attach_resolvent(r, ctx),
+                _ => self.attach_resolvent(&r, ctx),
             }
         }
         Some(true)
@@ -652,55 +646,58 @@ impl Solver {
     /// Adds an elimination resolvent as a problem clause.  Watches are down
     /// during the pass and `clauses_added` counts only user submissions, so
     /// this bypasses `add_clause`/`attach_clause`.
-    fn attach_resolvent(&mut self, lits: Vec<Lit>, ctx: &mut SimpCtx) {
-        let cref = self.clauses.len() as ClauseRef;
-        for &l in &lits {
+    fn attach_resolvent(&mut self, lits: &[Lit], ctx: &mut SimpCtx) {
+        let cref = self.arena.alloc(lits, false, 0);
+        self.clauses.push(cref);
+        for &l in lits {
             ctx.occ[l.index()].push(cref);
         }
-        ctx.sigs.push(clause_sig(&lits));
         ctx.queue.push(cref);
-        self.clauses.push(Clause {
-            lits,
-            learnt: false,
-            deleted: false,
-            lbd: 0,
-            activity: 0.0,
-        });
     }
 
     /// Reattaches watches after the occurrence-list phases: sweeps learned
     /// clauses that mention eliminated variables, runs units to fixpoint by
     /// scanning (watches are down), strips assigned literals, and re-watches
-    /// every surviving clause.
+    /// every surviving clause.  Tombstoned refs are pruned from both clause
+    /// lists on the way out, so only the arena still carries the garbage
+    /// (until [`Solver::maybe_gc`]).
     fn rebuild_watches(&mut self) -> bool {
         for w in self.watches.iter_mut() {
             w.clear();
         }
-        for ci in 0..self.clauses.len() {
-            if self.clauses[ci].deleted || !self.clauses[ci].learnt {
+        for i in 0..self.learnts.len() {
+            let cref = self.learnts[i];
+            if self.arena.is_deleted(cref) {
                 continue;
             }
-            if self.clauses[ci]
-                .lits
+            if self
+                .arena
+                .lits(cref)
                 .iter()
                 .any(|l| self.eliminated[l.var().index()])
             {
-                self.delete_clause(ci as ClauseRef);
+                self.delete_clause(cref);
             }
         }
         // Unit fixpoint by scanning; in practice only learned clauses can
         // still be unit here (problem clauses were cleaned through the
         // occurrence lists).
+        let all_refs = |s: &Solver| -> Vec<ClauseRef> {
+            s.clauses
+                .iter()
+                .chain(s.learnts.iter())
+                .copied()
+                .filter(|&c| !s.arena.is_deleted(c))
+                .collect()
+        };
         loop {
             let mark = self.trail.len();
-            for ci in 0..self.clauses.len() {
-                if self.clauses[ci].deleted {
-                    continue;
-                }
+            for cref in all_refs(self) {
                 let mut unit = None;
                 let mut undef = 0;
                 let mut satisfied = false;
-                for &l in &self.clauses[ci].lits {
+                for k in 0..self.arena.len(cref) {
+                    let l = self.arena.lit_at(cref, k);
                     match self.lit_lbool(l) {
                         LBool::True => {
                             satisfied = true;
@@ -714,14 +711,14 @@ impl Solver {
                     }
                 }
                 if satisfied {
-                    self.delete_clause(ci as ClauseRef);
+                    self.delete_clause(cref);
                     continue;
                 }
                 match undef {
                     0 => return false,
                     1 => {
                         self.enqueue(unit.unwrap(), REASON_NONE);
-                        self.delete_clause(ci as ClauseRef);
+                        self.delete_clause(cref);
                     }
                     _ => {}
                 }
@@ -730,17 +727,24 @@ impl Solver {
                 break;
             }
         }
-        for ci in 0..self.clauses.len() {
-            if self.clauses[ci].deleted {
-                continue;
-            }
-            let lits = std::mem::take(&mut self.clauses[ci].lits);
-            let kept: Vec<Lit> = lits
-                .into_iter()
+        for cref in all_refs(self) {
+            let kept: Vec<Lit> = self
+                .arena
+                .lits(cref)
+                .iter()
+                .copied()
                 .filter(|&l| self.lit_lbool(l) == LBool::Undef)
                 .collect();
             debug_assert!(kept.len() >= 2);
-            let cref = ci as ClauseRef;
+            if kept.len() < self.arena.len(cref) {
+                for (k, &l) in kept.iter().enumerate() {
+                    self.arena.set_lit(cref, k, l);
+                }
+                self.arena.shrink(cref, kept.len());
+                if !self.arena.is_learnt(cref) {
+                    self.arena.recompute_sig(cref);
+                }
+            }
             self.watches[(!kept[0]).index()].push(Watch {
                 cref,
                 blocker: kept[1],
@@ -749,8 +753,10 @@ impl Solver {
                 cref,
                 blocker: kept[0],
             });
-            self.clauses[ci].lits = kept;
         }
+        let arena = &self.arena;
+        self.clauses.retain(|&c| !arena.is_deleted(c));
+        self.learnts.retain(|&c| !arena.is_deleted(c));
         // The level-0 trail is final and some reasons may reference deleted
         // clauses; top-level facts need no reasons.
         for i in 0..self.trail.len() {
@@ -770,10 +776,10 @@ impl Solver {
         }
         let mut in_binary = vec![false; nv];
         let mut any = false;
-        for c in &self.clauses {
-            if !c.deleted && c.lits.len() == 2 {
-                in_binary[c.lits[0].var().index()] = true;
-                in_binary[c.lits[1].var().index()] = true;
+        for &c in &self.clauses {
+            if !self.arena.is_deleted(c) && self.arena.len(c) == 2 {
+                in_binary[self.arena.lit_at(c, 0).var().index()] = true;
+                in_binary[self.arena.lit_at(c, 1).var().index()] = true;
                 any = true;
             }
         }

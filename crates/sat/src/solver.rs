@@ -3,15 +3,24 @@
 //! Architecture follows MiniSat: a trail of assigned literals with decision
 //! levels and reasons, two-watched-literal propagation, first-UIP conflict
 //! analysis, VSIDS variable activities with phase saving, Luby restarts and
-//! activity/LBD-driven learned-clause deletion.
+//! a tiered learned-clause database.
+//!
+//! Clause storage is a single flat `u32` arena (see [`crate::arena`]): the
+//! propagate loop dereferences watch lists straight into one contiguous
+//! buffer instead of chasing a heap pointer per clause, deletion tombstones
+//! clauses in place, and a mark-compact GC reclaims the waste once it
+//! crosses a configurable fraction of the arena.
 //!
 //! The solver is incremental: clauses may be added between [`Solver::solve`]
 //! calls and solving may be done under a set of assumption literals, which is
 //! how the CEGIS synthesis phase accumulates counterexample constraints.
 
+use crate::arena::{tier_for_lbd, ClauseArena, TIER_LOCAL, TIER_MID};
 use crate::lit::{Lit, Var};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+pub(crate) use crate::arena::{ClauseRef, REASON_NONE};
 
 /// Truth value of a variable: unassigned, true or false.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -30,19 +39,6 @@ impl LBool {
             LBool::False
         }
     }
-}
-
-/// Reference to a clause in the solver's arena.
-pub(crate) type ClauseRef = u32;
-pub(crate) const REASON_NONE: ClauseRef = u32::MAX;
-
-#[derive(Debug)]
-pub(crate) struct Clause {
-    pub(crate) lits: Vec<Lit>,
-    pub(crate) learnt: bool,
-    pub(crate) deleted: bool,
-    pub(crate) lbd: u32,
-    pub(crate) activity: f64,
 }
 
 #[derive(Clone, Copy)]
@@ -95,12 +91,17 @@ pub struct SolverStats {
     pub portfolio_solves: u64,
     /// Learned clauses imported from winning portfolio workers.
     pub portfolio_imported: u64,
+    /// Mark-compact collections of the clause arena.
+    pub arena_gcs: u64,
+    /// Current clause-arena size in bytes (a level, not a counter).
+    pub arena_bytes: u64,
 }
 
 impl SolverStats {
     /// Effort spent since an earlier snapshot — the per-query cost of one
-    /// `solve`/`check_assuming` call.  `learnts` is a level, not a counter,
-    /// so its difference saturates at zero when the database shrank.
+    /// `solve`/`check_assuming` call.  `learnts` and `arena_bytes` are
+    /// levels, not counters, so their differences saturate at zero when the
+    /// database shrank.
     pub fn delta_since(self, earlier: SolverStats) -> SolverStats {
         SolverStats {
             conflicts: self.conflicts - earlier.conflicts,
@@ -116,15 +117,49 @@ impl SolverStats {
             simplify_time_ns: self.simplify_time_ns - earlier.simplify_time_ns,
             portfolio_solves: self.portfolio_solves - earlier.portfolio_solves,
             portfolio_imported: self.portfolio_imported - earlier.portfolio_imported,
+            arena_gcs: self.arena_gcs - earlier.arena_gcs,
+            arena_bytes: self.arena_bytes.saturating_sub(earlier.arena_bytes),
         }
     }
 }
+
+/// True when `PH_SAT_TIERS=0`: fall back to the pre-tier single-policy
+/// learned-clause reduction (activity/LBD over the whole database).
+pub(crate) fn tiers_disabled_by_env() -> bool {
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    *FLAG.get_or_init(|| matches!(std::env::var("PH_SAT_TIERS").as_deref(), Ok("0")))
+}
+
+/// `PH_SAT_GC_LIMIT` override of the GC waste fraction (a float; `0` forces
+/// a collection after every deletion — the CI stress configuration).
+fn gc_limit_from_env() -> Option<f64> {
+    static V: OnceLock<Option<f64>> = OnceLock::new();
+    *V.get_or_init(|| {
+        std::env::var("PH_SAT_GC_LIMIT")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+    })
+}
+
+/// Default GC trigger: collect when tombstoned words exceed this fraction
+/// of the arena.
+const GC_WASTE_FRAC_DEFAULT: f64 = 0.25;
+
+/// A tier2 clause untouched for this many conflicts is demoted to the
+/// aggressively-reduced local tier.
+const TIER2_UNTOUCHED_LIMIT: u64 = 30_000;
 
 /// A CDCL SAT solver.
 ///
 /// See the [crate docs](crate) for an example.
 pub struct Solver {
-    pub(crate) clauses: Vec<Clause>,
+    /// Flat clause storage; all `ClauseRef`s point into it.
+    pub(crate) arena: ClauseArena,
+    /// Problem-clause references (may contain tombstoned refs between
+    /// simplification passes; filtered on use).
+    pub(crate) clauses: Vec<ClauseRef>,
+    /// Learned-clause references (tombstoned refs pruned at reduction).
+    pub(crate) learnts: Vec<ClauseRef>,
     pub(crate) watches: Vec<Vec<Watch>>,
     pub(crate) assigns: Vec<LBool>,
     pub(crate) level: Vec<u32>,
@@ -150,6 +185,15 @@ pub struct Solver {
     pub(crate) stats: SolverStats,
     /// Scratch for conflict analysis.
     seen: Vec<bool>,
+    /// Level stamps for allocation-free LBD computation, indexed by decision
+    /// level.
+    lbd_stamp: Vec<u64>,
+    lbd_counter: u64,
+    /// Three-tier learnt database on (true) vs. the legacy single policy
+    /// (`PH_SAT_TIERS=0`).
+    tiers_enabled: bool,
+    /// GC triggers when tombstoned words exceed this fraction of the arena.
+    gc_waste_frac: f64,
     /// Conflict budget for the next solve (None = unlimited).
     pub(crate) budget: Option<u64>,
     /// Cooperative interrupt flag: when set, `solve` returns `Unknown`.
@@ -212,7 +256,9 @@ impl Solver {
     /// Creates an empty solver.
     pub fn new() -> Solver {
         Solver {
+            arena: ClauseArena::new(),
             clauses: Vec::new(),
+            learnts: Vec::new(),
             watches: Vec::new(),
             assigns: Vec::new(),
             level: Vec::new(),
@@ -231,6 +277,11 @@ impl Solver {
             max_learnts: 4000,
             stats: SolverStats::default(),
             seen: Vec::new(),
+            // Slot for decision level 0; one more per variable.
+            lbd_stamp: vec![0],
+            lbd_counter: 0,
+            tiers_enabled: !tiers_disabled_by_env(),
+            gc_waste_frac: gc_limit_from_env().unwrap_or(GC_WASTE_FRAC_DEFAULT),
             budget: None,
             interrupt: None,
             frozen: Vec::new(),
@@ -270,13 +321,44 @@ impl Solver {
     pub fn num_clauses(&self) -> usize {
         self.clauses
             .iter()
-            .filter(|c| !c.learnt && !c.deleted)
+            .filter(|&&c| !self.arena.is_deleted(c))
             .count()
     }
 
     /// Search statistics accumulated so far.
     pub fn stats(&self) -> SolverStats {
-        self.stats
+        let mut s = self.stats;
+        s.arena_bytes = (self.arena.len_words() * 4) as u64;
+        s
+    }
+
+    /// Bytes of the clause arena currently unreachable (tombstoned clauses
+    /// and strengthening slack), pending the next mark-compact GC.  The
+    /// bounded-memory guarantee for long incremental sessions is that this
+    /// never exceeds the configured fraction of the arena for long.
+    pub fn arena_waste(&self) -> usize {
+        self.arena.wasted_words() * 4
+    }
+
+    /// Testing hook: overrides the waste fraction that triggers a GC
+    /// (`0.0` collects after every deletion).  `PH_SAT_GC_LIMIT` sets the
+    /// same knob process-wide.
+    #[doc(hidden)]
+    pub fn set_gc_waste_limit(&mut self, frac: f64) {
+        self.gc_waste_frac = frac.max(0.0);
+    }
+
+    /// Testing hook: runs a mark-compact collection unconditionally.
+    #[doc(hidden)]
+    pub fn force_gc(&mut self) {
+        self.arena_gc();
+    }
+
+    /// Testing hook: toggles the tiered learnt database (the `PH_SAT_TIERS`
+    /// kill switch sets the same flag process-wide).
+    #[doc(hidden)]
+    pub fn set_tiers(&mut self, on: bool) {
+        self.tiers_enabled = on && !tiers_disabled_by_env();
     }
 
     /// Limits the next `solve` call to roughly `conflicts` conflicts; the
@@ -295,6 +377,7 @@ impl Solver {
         self.activity.push(0.0);
         self.phase.push(false);
         self.seen.push(false);
+        self.lbd_stamp.push(0);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.heap_pos.push(HEAP_NONE);
@@ -410,39 +493,46 @@ impl Solver {
                 self.ok
             }
             _ => {
-                self.attach_clause(simplified, false, 0);
+                self.attach_clause(&simplified, false, 0);
                 true
             }
         }
     }
 
-    pub(crate) fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
+    pub(crate) fn attach_clause(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
-        let cref = self.clauses.len() as ClauseRef;
-        let w0 = Watch {
+        let cref = self.arena.alloc(lits, learnt, lbd);
+        self.watches[(!lits[0]).index()].push(Watch {
             cref,
             blocker: lits[1],
-        };
-        let w1 = Watch {
+        });
+        self.watches[(!lits[1]).index()].push(Watch {
             cref,
             blocker: lits[0],
-        };
-        self.watches[(!lits[0]).index()].push(w0);
-        self.watches[(!lits[1]).index()].push(w1);
-        self.clauses.push(Clause {
-            lits,
-            learnt,
-            deleted: false,
-            lbd,
-            activity: 0.0,
         });
         if learnt {
             self.stats.learnts += 1;
+            self.learnts.push(cref);
+            self.arena
+                .set_touched(cref, self.stats.conflicts.min(u32::MAX as u64) as u32);
         } else {
             self.new_since_simplify += 1;
+            self.clauses.push(cref);
             self.pending_subsumption.push(cref);
         }
         cref
+    }
+
+    /// Tombstones a clause (learnt or problem); the arena reclaims the
+    /// words at the next GC, watches drop stale entries lazily.
+    pub(crate) fn delete_clause(&mut self, cref: ClauseRef) {
+        if self.arena.is_deleted(cref) {
+            return;
+        }
+        if self.arena.is_learnt(cref) {
+            self.stats.learnts = self.stats.learnts.saturating_sub(1);
+        }
+        self.arena.delete(cref);
     }
 
     #[inline]
@@ -466,6 +556,8 @@ impl Solver {
             self.qhead += 1;
             self.stats.propagations += 1;
             let widx = p.index();
+            // The false literal being watched is ¬p == clause lit.
+            let false_lit = !p;
             let mut i = 0;
             'watches: while i < self.watches[widx].len() {
                 let Watch { cref, blocker } = self.watches[widx][i];
@@ -473,31 +565,26 @@ impl Solver {
                     i += 1;
                     continue;
                 }
-                // The false literal being watched is ¬p == clause lit.
-                let false_lit = !p;
-                {
-                    let c = &mut self.clauses[cref as usize];
-                    if c.deleted {
-                        self.watches[widx].swap_remove(i);
-                        continue;
-                    }
-                    if c.lits[0] == false_lit {
-                        c.lits.swap(0, 1);
-                    }
-                    debug_assert_eq!(c.lits[1], false_lit);
+                if self.arena.is_deleted(cref) {
+                    self.watches[widx].swap_remove(i);
+                    continue;
                 }
-                let first = self.clauses[cref as usize].lits[0];
+                if self.arena.lit_at(cref, 0) == false_lit {
+                    self.arena.swap_lits(cref, 0, 1);
+                }
+                debug_assert_eq!(self.arena.lit_at(cref, 1), false_lit);
+                let first = self.arena.lit_at(cref, 0);
                 if first != blocker && self.lit_lbool(first) == LBool::True {
                     self.watches[widx][i].blocker = first;
                     i += 1;
                     continue;
                 }
                 // Look for a new literal to watch.
-                let len = self.clauses[cref as usize].lits.len();
+                let len = self.arena.len(cref);
                 for k in 2..len {
-                    let lk = self.clauses[cref as usize].lits[k];
+                    let lk = self.arena.lit_at(cref, k);
                     if self.lit_lbool(lk) != LBool::False {
-                        self.clauses[cref as usize].lits.swap(1, k);
+                        self.arena.swap_lits(cref, 1, k);
                         self.watches[widx].swap_remove(i);
                         self.watches[(!lk).index()].push(Watch {
                             cref,
@@ -531,9 +618,9 @@ impl Solver {
         loop {
             self.bump_clause(confl);
             let start = usize::from(p.is_some());
-            let clen = self.clauses[confl as usize].lits.len();
+            let clen = self.arena.len(confl);
             for k in start..clen {
-                let q = self.clauses[confl as usize].lits[k];
+                let q = self.arena.lit_at(confl, k);
                 let v = q.var();
                 if !self.seen[v.index()] && self.level[v.index()] > 0 {
                     self.seen[v.index()] = true;
@@ -605,7 +692,8 @@ impl Solver {
         if r == REASON_NONE {
             return false;
         }
-        for &q in &self.clauses[r as usize].lits[1..] {
+        for k in 1..self.arena.len(r) {
+            let q = self.arena.lit_at(r, k);
             let vi = q.var().index();
             if !self.seen[vi] && self.level[vi] > 0 {
                 return false;
@@ -614,11 +702,35 @@ impl Solver {
         true
     }
 
-    fn compute_lbd(&self, lits: &[Lit]) -> u32 {
-        let mut levels: Vec<u32> = lits.iter().map(|l| self.level[l.var().index()]).collect();
-        levels.sort_unstable();
-        levels.dedup();
-        levels.len() as u32
+    /// LBD of a literal slice under the current assignment, via level
+    /// stamps (no allocation, no sort).
+    fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
+        self.lbd_counter += 1;
+        let stamp = self.lbd_counter;
+        let mut lbd = 0u32;
+        for &l in lits {
+            let lvl = self.level[l.var().index()] as usize;
+            if self.lbd_stamp[lvl] != stamp {
+                self.lbd_stamp[lvl] = stamp;
+                lbd += 1;
+            }
+        }
+        lbd
+    }
+
+    /// LBD of a stored clause under the current assignment.
+    fn clause_lbd(&mut self, cref: ClauseRef) -> u32 {
+        self.lbd_counter += 1;
+        let stamp = self.lbd_counter;
+        let mut lbd = 0u32;
+        for k in 0..self.arena.len(cref) {
+            let lvl = self.level[self.arena.lit_at(cref, k).var().index()] as usize;
+            if self.lbd_stamp[lvl] != stamp {
+                self.lbd_stamp[lvl] = stamp;
+                lbd += 1;
+            }
+        }
+        lbd
     }
 
     pub(crate) fn cancel_until(&mut self, lvl: u32) {
@@ -660,17 +772,36 @@ impl Solver {
         self.var_inc /= self.var_decay;
     }
 
+    /// Bumps a learnt clause that took part in conflict analysis: activity,
+    /// touched timestamp, and a dynamic LBD refresh (a clause whose literals
+    /// now sit on fewer levels re-earns its keep, possibly promoting it to a
+    /// longer-lived tier).
     fn bump_clause(&mut self, cref: ClauseRef) {
-        let c = &mut self.clauses[cref as usize];
-        if !c.learnt {
+        if !self.arena.is_learnt(cref) {
             return;
         }
-        c.activity += self.cla_inc;
-        if c.activity > 1e20 {
-            for cl in self.clauses.iter_mut().filter(|cl| cl.learnt) {
-                cl.activity *= 1e-20;
+        let mut act = self.arena.activity(cref) + self.cla_inc as f32;
+        if act > 1e20 {
+            for i in 0..self.learnts.len() {
+                let c = self.learnts[i];
+                let a = self.arena.activity(c);
+                self.arena.set_activity(c, a * 1e-20);
             }
             self.cla_inc *= 1e-20;
+            act = self.arena.activity(cref) + self.cla_inc as f32;
+        }
+        self.arena.set_activity(cref, act);
+        self.arena
+            .set_touched(cref, self.stats.conflicts.min(u32::MAX as u64) as u32);
+        let lbd = self.clause_lbd(cref);
+        if lbd < self.arena.lbd(cref) {
+            self.arena.set_lbd(cref, lbd);
+            if self.tiers_enabled {
+                let t = tier_for_lbd(lbd);
+                if t < self.arena.tier(cref) {
+                    self.arena.set_tier(cref, t);
+                }
+            }
         }
     }
 
@@ -771,45 +902,173 @@ impl Solver {
 
     // ----- learned-clause DB reduction ---------------------------------
 
+    /// A clause currently serving as the reason for a trail assignment must
+    /// not be deleted.  Propagation keeps the asserting literal in slot 0
+    /// for as long as the clause is a reason (it can only be swapped out by
+    /// becoming false, contradicting the assignment it explains), so the
+    /// check is O(1) — no trail walk.
+    fn is_locked(&self, cref: ClauseRef) -> bool {
+        let l0 = self.arena.lit_at(cref, 0);
+        self.lit_lbool(l0) == LBool::True && self.reason[l0.var().index()] == cref
+    }
+
     fn reduce_db(&mut self) {
-        let mut learnts: Vec<ClauseRef> = (0..self.clauses.len() as ClauseRef)
+        if self.tiers_enabled {
+            self.reduce_db_tiered();
+        } else {
+            self.reduce_db_legacy();
+        }
+        // Prune tombstoned refs so the list does not accumulate garbage.
+        let arena = &self.arena;
+        self.learnts.retain(|&c| !arena.is_deleted(c));
+        self.learnt_since_reduce = 0;
+    }
+
+    /// Three-tier policy: core (LBD ≤ 3) is kept forever, tier2 (mid-LBD)
+    /// survives while recently used in conflicts and is demoted when stale,
+    /// and only the local tier is sorted and halved.
+    fn reduce_db_tiered(&mut self) {
+        let conflicts = self.stats.conflicts;
+        for i in 0..self.learnts.len() {
+            let c = self.learnts[i];
+            if self.arena.is_deleted(c) || self.arena.tier(c) != TIER_MID {
+                continue;
+            }
+            if conflicts.saturating_sub(self.arena.touched(c) as u64) > TIER2_UNTOUCHED_LIMIT {
+                self.arena.set_tier(c, TIER_LOCAL);
+            }
+        }
+        let mut locals: Vec<ClauseRef> = self
+            .learnts
+            .iter()
+            .copied()
             .filter(|&c| {
-                let cl = &self.clauses[c as usize];
-                cl.learnt && !cl.deleted && cl.lits.len() > 2
+                !self.arena.is_deleted(c)
+                    && self.arena.tier(c) == TIER_LOCAL
+                    && self.arena.len(c) > 2
             })
             .collect();
         // Delete the worst half: high LBD first, low activity as tie-break.
-        learnts.sort_by(|&a, &b| {
-            let ca = &self.clauses[a as usize];
-            let cb = &self.clauses[b as usize];
-            cb.lbd.cmp(&ca.lbd).then(
-                ca.activity
-                    .partial_cmp(&cb.activity)
+        locals.sort_by(|&a, &b| {
+            self.arena.lbd(b).cmp(&self.arena.lbd(a)).then(
+                self.arena
+                    .activity(a)
+                    .partial_cmp(&self.arena.activity(b))
                     .unwrap_or(std::cmp::Ordering::Equal),
             )
         });
-        let locked: Vec<ClauseRef> = self
-            .trail
-            .iter()
-            .map(|l| self.reason[l.var().index()])
-            .collect();
-        let to_delete = learnts.len() / 2;
+        let to_delete = locals.len() / 2;
         let mut deleted = 0;
-        for &cref in &learnts {
+        for &cref in &locals {
             if deleted >= to_delete {
                 break;
             }
-            if self.clauses[cref as usize].lbd <= 3 {
-                continue; // keep glue clauses
-            }
-            if locked.contains(&cref) {
+            if self.is_locked(cref) {
                 continue; // clause is a reason for a current assignment
             }
-            self.clauses[cref as usize].deleted = true;
-            self.stats.learnts = self.stats.learnts.saturating_sub(1);
+            self.delete_clause(cref);
             deleted += 1;
         }
-        self.learnt_since_reduce = 0;
+    }
+
+    /// The pre-tier policy (`PH_SAT_TIERS=0`): one activity/LBD ranking
+    /// over the whole learnt database, worst half deleted, glue clauses
+    /// (LBD ≤ 3) always spared.
+    fn reduce_db_legacy(&mut self) {
+        let mut cands: Vec<ClauseRef> = self
+            .learnts
+            .iter()
+            .copied()
+            .filter(|&c| !self.arena.is_deleted(c) && self.arena.len(c) > 2)
+            .collect();
+        cands.sort_by(|&a, &b| {
+            self.arena.lbd(b).cmp(&self.arena.lbd(a)).then(
+                self.arena
+                    .activity(a)
+                    .partial_cmp(&self.arena.activity(b))
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+        });
+        let to_delete = cands.len() / 2;
+        let mut deleted = 0;
+        for &cref in &cands {
+            if deleted >= to_delete {
+                break;
+            }
+            if self.arena.lbd(cref) <= 3 {
+                continue; // keep glue clauses
+            }
+            if self.is_locked(cref) {
+                continue;
+            }
+            self.delete_clause(cref);
+            deleted += 1;
+        }
+    }
+
+    // ----- arena garbage collection ------------------------------------
+
+    /// Collects when tombstoned words exceed the configured fraction of the
+    /// arena.  Called after DB reductions and simplification passes — the
+    /// two producers of tombstones.
+    pub(crate) fn maybe_gc(&mut self) {
+        let wasted = self.arena.wasted_words();
+        if wasted == 0 {
+            return;
+        }
+        if (wasted as f64) > self.gc_waste_frac * self.arena.len_words() as f64 {
+            self.arena_gc();
+        }
+    }
+
+    /// Mark-compact collection: copies every live clause into a fresh
+    /// buffer and patches all references.
+    ///
+    /// Patch order matters.  Reasons are *hard* references — conflict
+    /// analysis dereferences them without any liveness check — so they are
+    /// relocated first, while the tombstone/forwarding state still proves
+    /// each one live.  Watches are soft (the propagate loop drops stale
+    /// entries lazily) and may legitimately point at tombstoned clauses;
+    /// they are swept second, dropping the dead and forwarding the live.
+    /// The clause ref lists come last and just filter-map through the
+    /// forwarding headers.
+    pub(crate) fn arena_gc(&mut self) {
+        let live = self.arena.len_words() - self.arena.wasted_words();
+        let mut to: Vec<u32> = Vec::with_capacity(live);
+        let arena = &mut self.arena;
+        for i in 0..self.trail.len() {
+            let v = self.trail[i].var().index();
+            let r = self.reason[v];
+            if r != REASON_NONE {
+                self.reason[v] = arena
+                    .reloc(r, &mut to)
+                    .expect("reason clause tombstoned while locked");
+            }
+        }
+        for wl in self.watches.iter_mut() {
+            wl.retain_mut(|w| match arena.reloc(w.cref, &mut to) {
+                Some(nr) => {
+                    w.cref = nr;
+                    true
+                }
+                None => false,
+            });
+        }
+        for list in [
+            &mut self.clauses,
+            &mut self.learnts,
+            &mut self.pending_subsumption,
+        ] {
+            let mut kept = Vec::with_capacity(list.len());
+            for &c in list.iter() {
+                if let Some(nr) = arena.reloc(c, &mut to) {
+                    kept.push(nr);
+                }
+            }
+            *list = kept;
+        }
+        self.arena.replace(to);
+        self.stats.arena_gcs += 1;
     }
 
     // ----- top-level search --------------------------------------------
@@ -878,7 +1137,7 @@ impl Solver {
                 } else {
                     let lbd = self.compute_lbd(&learnt);
                     let first = learnt[0];
-                    let cref = self.attach_clause(learnt, true, lbd);
+                    let cref = self.attach_clause(&learnt, true, lbd);
                     self.enqueue(first, cref);
                     self.learnt_since_reduce += 1;
                 }
@@ -913,6 +1172,7 @@ impl Solver {
                 }
                 if self.learnt_since_reduce > self.max_learnts {
                     self.reduce_db();
+                    self.maybe_gc();
                 }
             } else {
                 // No conflict: establish assumptions (MiniSat scheme — while
@@ -964,8 +1224,8 @@ impl Solver {
         let mut out: Vec<Vec<Lit>> = self
             .clauses
             .iter()
-            .filter(|c| !c.learnt && !c.deleted)
-            .map(|c| c.lits.clone())
+            .filter(|&&c| !self.arena.is_deleted(c))
+            .map(|&c| self.arena.lits(c).to_vec())
             .collect();
         // Level-0 units.
         let bound = self.trail_lim.first().copied().unwrap_or(self.trail.len());

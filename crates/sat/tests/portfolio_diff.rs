@@ -92,10 +92,26 @@ fn control() -> Solver {
 /// original clause.
 #[test]
 fn portfolio_master_agrees_with_no_import_control() {
-    let mut rng = ph_bits::Rng::seed_from_u64(0x00f0_d1ff_0001);
+    run_portfolio_diff(false, 0x00f0_d1ff_0001);
+}
+
+/// The same differential streams with the master's GC threshold at zero:
+/// every tombstone (learnt reduction, simplification, import cleanup)
+/// forces a mark-compact collection, so snapshotting and clause import run
+/// against a constantly relocating arena.
+#[test]
+fn portfolio_agrees_under_forced_gc() {
+    run_portfolio_diff(true, 0x00f0_d1ff_6c6c);
+}
+
+fn run_portfolio_diff(gc: bool, seed: u64) {
+    let mut rng = ph_bits::Rng::seed_from_u64(seed);
     for round in 0..12 {
         let simplify = rng.gen_bool(0.5);
         let mut m = master(simplify);
+        if gc {
+            m.set_gc_waste_limit(0.0);
+        }
         let mut c = control();
 
         let nv = rng.gen_range(6..=16usize);

@@ -32,6 +32,15 @@ fn build(nv: usize, clauses: &[RClause], simplify: bool) -> (Solver, Vec<Var>, b
     (s, vars, ok)
 }
 
+/// GC-stress knob: a zero waste threshold makes every tombstone trigger a
+/// full mark-compact collection, so the differential loops exercise clause
+/// relocation (watch/reason/occurrence patching) on every simplification.
+fn force_gc_mode(s: &mut Solver, on: bool) {
+    if on {
+        s.set_gc_waste_limit(0.0);
+    }
+}
+
 fn model_satisfies(s: &Solver, vars: &[Var], clauses: &[RClause]) -> bool {
     clauses.iter().all(|c| {
         c.iter()
@@ -43,7 +52,18 @@ fn model_satisfies(s: &Solver, vars: &[Var], clauses: &[RClause]) -> bool {
 /// must satisfy the original (pre-simplification) clauses.
 #[test]
 fn random_cnf_simplified_agrees_with_plain() {
-    let mut rng = ph_bits::Rng::seed_from_u64(0x0005_1397_d1ff);
+    run_random_cnf(false, 0x0005_1397_d1ff);
+}
+
+/// The same differential loop with every tombstone forcing a collection, so
+/// inprocessing runs against a constantly relocating arena.
+#[test]
+fn random_cnf_agrees_under_forced_gc() {
+    run_random_cnf(true, 0x6c05_1397);
+}
+
+fn run_random_cnf(gc: bool, seed: u64) {
+    let mut rng = ph_bits::Rng::seed_from_u64(seed);
     for round in 0..600 {
         let nv = rng.gen_range(3..=24usize);
         let nc = rng.gen_range(1..=nv * 4);
@@ -52,6 +72,7 @@ fn random_cnf_simplified_agrees_with_plain() {
 
         let (mut plain, pvars, pok) = build(nv, &clauses, false);
         let (mut simp, svars, sok) = build(nv, &clauses, true);
+        force_gc_mode(&mut simp, gc);
         assert_eq!(pok, sok, "round {round}: add_clause verdicts diverged");
         // Instances this small never trip the conflict-based scheduler, so
         // force a pass — the point here is the engine, not the economics.
@@ -77,11 +98,23 @@ fn random_cnf_simplified_agrees_with_plain() {
 /// solver given the same clauses plus the assumptions as units.
 #[test]
 fn incremental_batches_agree_with_fresh_plain_solver() {
-    let mut rng = ph_bits::Rng::seed_from_u64(0xd1ff_ba7c);
+    run_incremental_batches(false, 0xd1ff_ba7c);
+}
+
+/// Incremental churn with forced collections: every batch's simplification
+/// relocates the whole arena under live frozen variables and assumptions.
+#[test]
+fn incremental_batches_agree_under_forced_gc() {
+    run_incremental_batches(true, 0xba7c_d1ff);
+}
+
+fn run_incremental_batches(gc: bool, seed: u64) {
+    let mut rng = ph_bits::Rng::seed_from_u64(seed);
     for round in 0..80 {
         let nv = rng.gen_range(4..=16usize);
         let mut inc = Solver::new();
         inc.set_simplify(true);
+        force_gc_mode(&mut inc, gc);
         let vars: Vec<Var> = (0..nv).map(|_| inc.new_var()).collect();
         // The whole variable block is external interface here: models are
         // read and assumptions chosen freely between batches.

@@ -509,6 +509,8 @@ impl Smt {
             tracer.gauge("smt.gate_vars", b.gate_vars);
             tracer.gauge("smt.clauses_added", self.sat.stats().clauses_added);
             tracer.gauge("smt.learnts", self.sat.stats().learnts);
+            tracer.count("smt.arena_gcs", d.arena_gcs);
+            tracer.gauge("smt.arena_bytes", self.sat.stats().arena_bytes);
         }
         result
     }

@@ -428,6 +428,10 @@ fn solver_stats_from_json(j: &Json) -> Result<SolverStats, CodecError> {
         simplify_time_ns: get_u64(j, "simplify_time_ns")?,
         portfolio_solves: get_u64(j, "portfolio_solves")?,
         portfolio_imported: get_u64(j, "portfolio_imported")?,
+        // Arena counters postdate some cached payloads; default to zero so
+        // old cache entries stay decodable.
+        arena_gcs: get_u64(j, "arena_gcs").unwrap_or(0),
+        arena_bytes: get_u64(j, "arena_bytes").unwrap_or(0),
     })
 }
 
